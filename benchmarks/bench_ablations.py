@@ -1,0 +1,332 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* E7 — orderdate-year partition pruning is worth ~2x for the row store
+  (Section 6.1).
+* E9 — between-predicate rewriting inside the invisible join ("often
+  yields a significant performance gain", Section 5.4.2).
+* Position-list representations: range vs bitmap vs array intersection.
+* Buffer pool size: "different sizes did not yield large differences"
+  (Section 6.2).
+* Codec choice: auto-selection vs forcing plain on the fact columns.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.colstore.positions import (
+    ArrayPositions,
+    BitmapPositions,
+    RangePositions,
+    intersect,
+)
+from repro.core.config import ExecutionConfig
+from repro.rowstore.designs import DesignKind
+from repro.rowstore.engine import SystemX
+from repro.simio.stats import QueryStats
+from repro.ssb import query_by_name
+
+
+# --------------------------------------------------------------------- #
+# E7: partition pruning
+# --------------------------------------------------------------------- #
+def test_partition_pruning_factor(benchmark, harness):
+    """Queries restricting orderdate speed up ~flights' pruned share;
+    the paper reports ~2x on average across the workload."""
+    pruned_queries = ["Q1.1", "Q1.2", "Q1.3", "Q3.4", "Q4.2", "Q4.3"]
+
+    def run():
+        out = {}
+        for name in pruned_queries:
+            q = query_by_name(name)
+            out[name] = (
+                harness.run_row_design(q, DesignKind.TRADITIONAL,
+                                       prune_partitions=True),
+                harness.run_row_design(q, DesignKind.TRADITIONAL,
+                                       prune_partitions=False),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    factors = [unpruned / pruned for pruned, unpruned in results.values()]
+    benchmark.extra_info["pruning_factors"] = dict(
+        zip(pruned_queries, factors))
+    assert min(factors) > 1.5
+    assert sum(factors) / len(factors) > 2.0
+
+
+# --------------------------------------------------------------------- #
+# E9: between-predicate rewriting
+# --------------------------------------------------------------------- #
+def test_between_rewrite_gain(benchmark, harness, queries):
+    """Invisible join with vs without between-predicate rewriting: the
+    rewrite replaces hash probes with range checks on every query."""
+    with_rewrite = ExecutionConfig.baseline()
+    without = dataclasses.replace(with_rewrite, between_rewriting=False)
+
+    def run():
+        on = {q.name: harness.run_column_config(q, with_rewrite)
+              for q in queries}
+        off = {q.name: harness.run_column_config(q, without)
+               for q in queries}
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg_on = sum(on.values()) / len(on)
+    avg_off = sum(off.values()) / len(off)
+    benchmark.extra_info["gain"] = avg_off / avg_on
+    assert avg_off > 1.15 * avg_on
+    # and never a regression on any query beyond noise
+    assert all(off[q] >= 0.95 * on[q] for q in on)
+
+
+# --------------------------------------------------------------------- #
+# position-list representations
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ["range", "bitmap", "array"])
+def test_position_intersection_cost(benchmark, kind):
+    """Ranges intersect in O(1); bitmaps per word; arrays per element —
+    the representation hierarchy of Section 5.2."""
+    n = 1_000_000
+    rng = np.random.default_rng(0)
+    if kind == "range":
+        a, b = RangePositions(0, n), RangePositions(n // 2, n)
+    elif kind == "bitmap":
+        a = BitmapPositions(0, rng.random(n) < 0.5)
+        b = BitmapPositions(0, rng.random(n) < 0.5)
+    else:
+        a = ArrayPositions(np.flatnonzero(rng.random(n) < 0.05)
+                           .astype(np.int64))
+        b = ArrayPositions(np.flatnonzero(rng.random(n) < 0.05)
+                           .astype(np.int64))
+
+    stats = QueryStats()
+    out = benchmark(lambda: intersect(a, b, stats))
+    benchmark.extra_info["position_ops_per_call"] = stats.position_ops
+    assert out.count >= 0
+
+
+def test_position_representation_charges():
+    stats = QueryStats()
+    n = 1_000_000
+    intersect(RangePositions(0, n), RangePositions(1, n), stats)
+    range_ops = stats.position_ops
+    stats.reset()
+    bits = np.ones(n, dtype=bool)
+    bits[::3] = False
+    intersect(BitmapPositions(0, bits), BitmapPositions(0, ~bits), stats)
+    bitmap_ops = stats.position_ops
+    stats.reset()
+    arr = np.arange(0, n, 2, dtype=np.int64)
+    intersect(ArrayPositions(arr), ArrayPositions(arr + 1), stats)
+    array_ops = stats.position_ops
+    assert range_ops < bitmap_ops < array_ops
+
+
+# --------------------------------------------------------------------- #
+# buffer pool sweep
+# --------------------------------------------------------------------- #
+def test_buffer_pool_insensitivity(benchmark, harness):
+    """Section 6.2: buffer pool size barely matters because the scans
+    exceed it."""
+    q = query_by_name("Q2.1")
+
+    def run():
+        out = {}
+        for pool_mb in (1, 4, 16):
+            engine = SystemX(harness.data,
+                             designs=[DesignKind.TRADITIONAL],
+                             buffer_pool_bytes=pool_mb * 1024 * 1024)
+            out[pool_mb] = engine.execute(q, DesignKind.TRADITIONAL).seconds
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    times = list(results.values())
+    benchmark.extra_info["seconds_by_pool_mb"] = results
+    assert max(times) < 1.3 * min(times)
+
+
+# --------------------------------------------------------------------- #
+# codec choice
+# --------------------------------------------------------------------- #
+def test_codec_choice_beats_forced_plain(benchmark, harness):
+    """Auto codec selection vs storing everything plain: flight 1 pays
+    the full order-of-magnitude penalty when RLE is taken away."""
+    compressed = ExecutionConfig.from_label("tICL")
+    plain = ExecutionConfig.from_label("ticL")
+
+    def run():
+        q = query_by_name("Q1.2")
+        return (harness.run_column_config(q, compressed),
+                harness.run_column_config(q, plain))
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["gain"] = slow / fast
+    assert slow > 4 * fast
+
+
+# --------------------------------------------------------------------- #
+# redundant projections (the C-Store feature the paper forgoes, §5.1)
+# --------------------------------------------------------------------- #
+def test_extra_projection_gain(benchmark, harness):
+    """Adding a custkey-sorted fact projection accelerates flight 3
+    (customer-restricted queries) — the paper notes it stores only one
+    sort order and therefore leaves this win on the table."""
+    from repro.colstore.engine import CStore
+    from repro.storage.colfile import CompressionLevel
+
+    base_store = CStore(harness.data, levels=[CompressionLevel.MAX])
+    extra_store = CStore(harness.data, levels=[CompressionLevel.MAX])
+    extra_store.add_projection("lineorder", ("custkey", "suppkey"))
+    flight3 = [query_by_name(n) for n in ("Q3.1", "Q3.2", "Q3.3", "Q3.4")]
+
+    def run():
+        base = {q.name: base_store.execute(q).seconds for q in flight3}
+        extra = {q.name: extra_store.execute(q).seconds for q in flight3}
+        return base, extra
+
+    base, extra = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = {q: base[q] / extra[q] for q in base}
+    benchmark.extra_info["gains"] = gains
+    benchmark.extra_info["storage_overhead"] = (
+        extra_store.storage_bytes() / base_store.storage_bytes())
+    # selective flight-3 queries benefit; none regress meaningfully
+    assert gains["Q3.2"] > 1.2
+    assert min(gains.values()) > 0.9
+
+
+# --------------------------------------------------------------------- #
+# sorted-column binary search (extension; the paper's C-Store scans)
+# --------------------------------------------------------------------- #
+def test_sorted_binary_search_gain(benchmark, harness):
+    """Resolving the rewritten orderdate predicate by binary search
+    instead of a column scan — a post-paper optimization, biggest when
+    compression is off and the sort column would otherwise be scanned
+    in full."""
+    plain = ExecutionConfig.from_label("tIcL")
+    searched = dataclasses.replace(plain, sorted_binary_search=True)
+    flight1 = [query_by_name(n) for n in ("Q1.1", "Q1.2", "Q1.3")]
+
+    def run():
+        base = {q.name: harness.run_column_config(q, plain)
+                for q in flight1}
+        fast = {q.name: harness.run_column_config(q, searched)
+                for q in flight1}
+        return base, fast
+
+    base, fast = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = {q: base[q] / fast[q] for q in base}
+    benchmark.extra_info["gains"] = gains
+    assert all(g >= 1.0 for g in gains.values())
+    assert max(gains.values()) > 1.2
+
+
+# --------------------------------------------------------------------- #
+# VP position joins: hash (what System X did) vs merge (what it could do)
+# --------------------------------------------------------------------- #
+def test_vp_merge_join_gain(benchmark, harness):
+    """Section 6.2.2: 'System X could be tricked into ... a merge join
+    (without a sort)' — quantify what that would have bought."""
+    flight2 = [query_by_name(n) for n in ("Q2.1", "Q2.2", "Q2.3")]
+
+    def run():
+        engine = harness.system_x([DesignKind.VERTICAL_PARTITIONING,
+                                   DesignKind.TRADITIONAL])
+        hash_cost = sum(
+            engine.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                           vp_join="hash").seconds for q in flight2)
+        merge_cost = sum(
+            engine.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                           vp_join="merge").seconds for q in flight2)
+        t_cost = sum(engine.execute(q, DesignKind.TRADITIONAL).seconds
+                     for q in flight2)
+        return hash_cost, merge_cost, t_cost
+
+    hash_cost, merge_cost, t_cost = benchmark.pedantic(run, rounds=1,
+                                                       iterations=1)
+    benchmark.extra_info["hash_over_merge"] = hash_cost / merge_cost
+    benchmark.extra_info["merge_over_traditional"] = merge_cost / t_cost
+    assert merge_cost < hash_cost           # merge joins help VP...
+    assert merge_cost > 0.8 * t_cost        # ...but VP still cannot win
+
+
+# --------------------------------------------------------------------- #
+# predicate application strategy (Section 5.4's two alternatives)
+# --------------------------------------------------------------------- #
+def test_pipelined_vs_parallel_predicates(benchmark, harness, queries):
+    pipelined = ExecutionConfig.baseline()
+    parallel = dataclasses.replace(pipelined, pipelined_predicates=False)
+
+    def run():
+        piped = {q.name: harness.run_column_config(q, pipelined)
+                 for q in queries}
+        par = {q.name: harness.run_column_config(q, parallel)
+               for q in queries}
+        return piped, par
+
+    piped, par = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg_piped = sum(piped.values()) / len(piped)
+    avg_par = sum(par.values()) / len(par)
+    benchmark.extra_info["parallel_over_pipelined"] = avg_par / avg_piped
+    # pipelining never loses and wins clearly on the selective queries
+    assert avg_par >= avg_piped
+    assert par["Q1.3"] > 1.2 * piped["Q1.3"]
+
+
+# --------------------------------------------------------------------- #
+# warm vs cold buffer pool (Section 6.1's measurement protocol)
+# --------------------------------------------------------------------- #
+def test_warm_pool_gain(benchmark, harness):
+    """The paper ran on warm pools, worth ~30% but 'not particularly
+    dramatic because the amount of data read by each query exceeds the
+    size of the buffer pool' — with the pool scaled to 0.5% of the data
+    the same logic bounds the gain here."""
+    engine = harness.system_x([DesignKind.TRADITIONAL])
+    q = query_by_name("Q2.1")
+
+    def run():
+        cold = engine.execute(q, DesignKind.TRADITIONAL).seconds
+        engine.execute(q, DesignKind.TRADITIONAL, cold_pool=False)
+        warm = engine.execute(q, DesignKind.TRADITIONAL,
+                              cold_pool=False).seconds
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["warm_gain"] = cold / warm
+    assert warm <= cold            # warmth never hurts
+    assert warm > 0.5 * cold       # and cannot be dramatic (pool << data)
+
+
+# --------------------------------------------------------------------- #
+# super tuples (Halverson et al.; the paper's conclusion list)
+# --------------------------------------------------------------------- #
+def test_super_tuple_vp_gain(benchmark, harness):
+    """Header-free, position-implicit, block-scanned vertical partitions:
+    the storage/executor improvements the conclusion says a row store
+    needs.  They rescue VP — and still lose to full C-Store, which is
+    the paper's whole point: storage layout alone is not enough."""
+    from repro.core.config import ExecutionConfig
+
+    engine = harness.system_x([DesignKind.VERTICAL_PARTITIONING,
+                               DesignKind.TRADITIONAL])
+    store = harness.cstore()
+    qs = [query_by_name(n) for n in ("Q2.1", "Q3.1", "Q4.1")]
+
+    def run():
+        vp = sum(engine.execute(
+            q, DesignKind.VERTICAL_PARTITIONING).seconds for q in qs)
+        sup = sum(engine.execute(
+            q, DesignKind.VERTICAL_PARTITIONING, vp_super_tuples=True,
+            vp_join="merge").seconds for q in qs)
+        t = sum(engine.execute(q, DesignKind.TRADITIONAL).seconds
+                for q in qs)
+        cs = sum(store.execute(q).seconds for q in qs)
+        return vp, sup, t, cs
+
+    vp, sup, t, cs = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["vp_over_super"] = vp / sup
+    benchmark.extra_info["super_over_full_cstore"] = sup / cs
+    assert sup < 0.5 * vp      # super tuples rescue VP...
+    assert sup < t             # ...even past the traditional design...
+    assert sup > 2 * cs        # ...but never reach full C-Store

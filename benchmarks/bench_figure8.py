@@ -1,0 +1,50 @@
+"""Figure 8: invisible join vs. pre-joined (denormalized) fact table.
+
+Paper conclusion: denormalization is *not* generally useful in a column
+store — the invisible join performs well enough that pre-joining only
+pays when the folded-in dimension columns are aggressively compressed.
+"""
+
+import pytest
+
+from repro.bench.figures import FIGURE8_LEVELS
+from repro.core.config import CONFIG_LADDER
+
+_RESULTS = {}
+
+
+def test_figure8_base(benchmark, harness, queries):
+    def run():
+        return {q.name: harness.run_column_config(q, CONFIG_LADDER[0])
+                for q in queries}
+
+    per_query = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS["Base"] = per_query
+    benchmark.extra_info["simulated_seconds_avg"] = \
+        sum(per_query.values()) / len(per_query)
+
+
+@pytest.mark.parametrize("label,level", FIGURE8_LEVELS,
+                         ids=[l for l, _ in FIGURE8_LEVELS])
+def test_figure8_prejoined(benchmark, harness, queries, label, level):
+    def run():
+        return {q.name: harness.run_denormalized(q, level)
+                for q in queries}
+
+    per_query = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[label] = per_query
+    benchmark.extra_info["simulated_seconds_avg"] = \
+        sum(per_query.values()) / len(per_query)
+    benchmark.extra_info["simulated_seconds"] = per_query
+
+
+def test_figure8_shape():
+    if len(_RESULTS) < 4:
+        pytest.skip("run the figure8 benchmarks first")
+    avg = {k: sum(v.values()) / len(v) for k, v in _RESULTS.items()}
+    # uncompressed strings in the fact table are a disaster (paper: 5x)
+    assert avg["PJ, No C"] > 2.5 * avg["Base"]
+    # integer codes close most of the gap but usually don't win
+    assert avg["Base"] < avg["PJ, Int C"] < avg["PJ, No C"]
+    # only max compression makes denormalization competitive
+    assert avg["PJ, Max C"] < 1.2 * avg["Base"]

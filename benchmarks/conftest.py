@@ -1,0 +1,22 @@
+"""Benchmark fixtures: one harness per session at the bench scale factor.
+
+``REPRO_SF`` controls the scale (default 0.05 = 300,000 fact rows).  The
+pytest-benchmark tables report *wall-clock* time of the Python
+simulation; every benchmark also attaches the *simulated seconds on the
+paper's 2008 hardware* via ``extra_info`` — that simulated number is the
+one compared against the paper (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.harness import Harness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return Harness()
+
+
+@pytest.fixture(scope="session")
+def queries(harness):
+    return harness.queries()

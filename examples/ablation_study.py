@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Ablation study: strip C-Store's optimizations one by one (Figure 7).
+
+Run:  python examples/ablation_study.py [query_name] [scale_factor]
+
+Executes one SSB query under each of the paper's seven configurations
+(tICL .. Ticl), printing simulated time, the I/O / CPU split, and the
+work counters that explain each step of the ladder — which is exactly
+how Section 6.3.2 of the paper attributes the column store's advantage
+to compression, late materialization, block iteration, and the
+invisible join.
+"""
+
+import sys
+
+from repro import CStore, CONFIG_LADDER, generate, query_by_name
+
+EXPLANATIONS = {
+    "tICL": "full C-Store: all four optimizations on",
+    "TICL": "tuple-at-a-time processing (block iteration off)",
+    "tiCL": "invisible join off (late materialized hash join)",
+    "TiCL": "block iteration and invisible join both off",
+    "ticL": "compression also off (columns stored plain)",
+    "TicL": "only late materialization remains",
+    "Ticl": "everything off: the column store acts like a row store",
+}
+
+
+def main() -> None:
+    query_name = sys.argv[1] if len(sys.argv) > 1 else "Q2.1"
+    scale_factor = float(sys.argv[2]) if len(sys.argv) > 2 else 0.02
+    query = query_by_name(query_name)
+
+    print(f"Generating SSB data at scale factor {scale_factor} ...")
+    data = generate(scale_factor)
+    store = CStore(data)
+
+    print(f"\n{query_name} under the seven configurations of Figure 7:\n")
+    header = (f"{'config':>7} {'simulated':>11} {'I/O':>9} {'CPU':>9} "
+              f"{'MB read':>8} {'probes':>9} {'runs':>8} {'decomp':>9} "
+              f"{'tuples':>8}")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for config in CONFIG_LADDER:
+        run = store.execute(query, config)
+        if baseline is None:
+            baseline = run.seconds
+        s = run.stats
+        print(f"{config.label:>7} {run.seconds * 1000:9.2f}ms "
+              f"{run.cost.io_seconds * 1000:7.2f}ms "
+              f"{run.cost.cpu_seconds * 1000:7.2f}ms "
+              f"{s.bytes_read / 1e6:8.2f} {s.hash_probes:9,} "
+              f"{s.runs_processed:8,} {s.values_decompressed:9,} "
+              f"{s.tuples_constructed:8,}"
+              f"   ({run.seconds / baseline:4.1f}x)  "
+              f"{EXPLANATIONS[config.label]}")
+
+    print("\nReading the counters:")
+    print("  * 'runs' > 0 only while compression is on: predicates are")
+    print("    applied to RLE runs instead of individual values.")
+    print("  * 'probes' jumps when the invisible join is disabled (i) —")
+    print("    between-predicate rewriting is gone — and again under")
+    print("    early materialization.")
+    print("  * 'tuples' is nonzero only for ..l: early materialization")
+    print("    constructs every tuple before filtering, the habit the")
+    print("    paper shows costs about 3x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""SQL workbench: run ad-hoc SSB-dialect SQL against both engines.
+
+Run:  python examples/sql_workbench.py              # demo queries
+      python examples/sql_workbench.py "SELECT ..." # your own SQL
+
+Parses SQL through the repro frontend into the shared StarQuery IR,
+executes it on the column store and the row store, cross-checks the
+results, and prints the output with per-engine simulated costs.
+"""
+
+import sys
+
+from repro import (
+    CStore,
+    DesignKind,
+    SystemX,
+    generate,
+    parse_query,
+    reference_execute,
+)
+
+DEMO_QUERIES = [
+    # revenue by ship mode for large Christmas-season orders
+    """
+    SELECT lo.shipmode, sum(lo.revenue) AS revenue
+    FROM lineorder AS lo, date AS d
+    WHERE lo.orderdate = d.datekey
+      AND d.sellingseason = 'Christmas'
+      AND lo.quantity >= 40
+    GROUP BY lo.shipmode
+    ORDER BY revenue DESC
+    """,
+    # profit from European suppliers by year
+    """
+    SELECT d.year, sum(lo.revenue - lo.supplycost) AS profit
+    FROM lineorder AS lo, supplier AS s, date AS d
+    WHERE lo.suppkey = s.suppkey
+      AND lo.orderdate = d.datekey
+      AND s.region = 'EUROPE'
+    GROUP BY d.year
+    ORDER BY year
+    """,
+    # how much revenue rides on a single brand
+    """
+    SELECT p.brand1, sum(lo.revenue) AS revenue
+    FROM lineorder AS lo, part AS p
+    WHERE lo.partkey = p.partkey
+      AND p.category = 'MFGR#31'
+    GROUP BY p.brand1
+    ORDER BY revenue DESC
+    """,
+]
+
+
+def run_sql(sql: str, data, column_store, row_store) -> None:
+    query = parse_query(sql, name="adhoc")
+    print("SQL:")
+    print("\n".join("  " + line.strip()
+                    for line in sql.strip().splitlines()))
+    col_run = column_store.execute(query)
+    row_run = row_store.execute(query, DesignKind.TRADITIONAL)
+    oracle = reference_execute(data.tables, query)
+    assert col_run.result.same_rows(oracle)
+    assert row_run.result.same_rows(oracle)
+    print()
+    print(col_run.result.pretty(limit=10))
+    print(f"\n  column store: {col_run.seconds * 1000:7.2f} ms simulated")
+    print(f"  row store:    {row_run.seconds * 1000:7.2f} ms simulated")
+    print("=" * 68)
+
+
+def main() -> None:
+    print("Generating SSB data at scale factor 0.02 ...")
+    data = generate(0.02)
+    column_store = CStore(data)
+    row_store = SystemX(data, designs=[DesignKind.TRADITIONAL])
+    print("=" * 68)
+
+    if len(sys.argv) > 1:
+        run_sql(sys.argv[1], data, column_store, row_store)
+        return
+    for sql in DEMO_QUERIES:
+        run_sql(sql, data, column_store, row_store)
+
+
+if __name__ == "__main__":
+    main()

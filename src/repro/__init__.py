@@ -1,0 +1,61 @@
+"""repro — a reproduction of Abadi, Madden & Hachem, SIGMOD 2008:
+"Column-Stores vs. Row-Stores: How Different Are They Really?"
+
+The package contains two complete analytical database engines over a
+simulated 2008-era disk, the Star Schema Benchmark, and the harness that
+regenerates every figure in the paper's evaluation:
+
+* :class:`repro.rowstore.SystemX` — a commercial-style row store with
+  the paper's five physical designs (traditional, bitmap, materialized
+  views, vertical partitioning, index-only);
+* :class:`repro.colstore.CStore` — a C-Store-style column store whose
+  optimizations (compression, late materialization, block iteration,
+  and the paper's **invisible join**) can be toggled per query;
+* :func:`repro.ssb.generate` — the deterministic SSB data generator;
+* :func:`repro.sql.parse_query` — a SQL frontend for the SSB dialect;
+* :mod:`repro.bench` — per-figure benchmark drivers
+  (``python -m repro.bench all``).
+
+Quickstart::
+
+    from repro import generate, CStore, SystemX, DesignKind, query_by_name
+
+    data = generate(scale_factor=0.01)
+    cstore = CStore(data)
+    run = cstore.execute(query_by_name("Q3.1"))
+    print(run.result.pretty())
+    print(f"simulated {run.seconds:.3f}s on 2008 hardware")
+"""
+
+from .core.config import CONFIG_LADDER, ExecutionConfig
+from .colstore.engine import CStore, ColumnStoreRun
+from .plan.logical import StarQuery
+from .result import ResultSet
+from .rowstore.designs import DesignKind
+from .rowstore.engine import RowStoreRun, SystemX
+from .reference import execute as reference_execute
+from .sql import parse_query
+from .ssb.generator import SsbData, generate
+from .ssb.queries import PAPER_SELECTIVITIES, all_queries, query_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CStore",
+    "ColumnStoreRun",
+    "SystemX",
+    "RowStoreRun",
+    "DesignKind",
+    "ExecutionConfig",
+    "CONFIG_LADDER",
+    "StarQuery",
+    "ResultSet",
+    "SsbData",
+    "generate",
+    "all_queries",
+    "query_by_name",
+    "PAPER_SELECTIVITIES",
+    "parse_query",
+    "reference_execute",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness: regenerate every table and figure of Section 6.
+
+* :mod:`~repro.bench.harness` — builds the engines once per scale factor
+  and runs query x configuration grids on fresh ledgers.
+* :mod:`~repro.bench.figures` — one driver per paper figure (5, 6, 7, 8)
+  plus the Section 6.2 storage-size report.
+* :mod:`~repro.bench.report` — paper-style fixed-width tables and
+  side-by-side comparison against the published numbers.
+* :mod:`~repro.bench.paper_data` — the numbers printed in the paper's
+  figures, used for shape comparison (who wins, by what factor).
+
+Command line::
+
+    python -m repro.bench all --sf 0.05
+    python -m repro.bench figure7
+"""
+
+from .harness import Harness, RunGrid
+from .figures import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    storage_report,
+)
+
+__all__ = [
+    "Harness",
+    "RunGrid",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "storage_report",
+]

@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench all
+    python -m repro.bench figure7 --sf 0.1
+    python -m repro.bench storage
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from . import figures
+from .harness import Harness
+from .paper_data import (
+    PAPER_FIGURE5,
+    PAPER_FIGURE6,
+    PAPER_FIGURE7,
+    PAPER_FIGURE8,
+)
+from .report import (
+    render_bars,
+    render_comparison,
+    render_cost_breakdown,
+    render_grid,
+    render_storage,
+)
+
+_FIGURES: Dict[str, tuple] = {
+    "figure5": (figures.figure5, PAPER_FIGURE5),
+    "figure6": (figures.figure6, PAPER_FIGURE6),
+    "figure7": (figures.figure7, PAPER_FIGURE7),
+    "figure8": (figures.figure8, PAPER_FIGURE8),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables/figures of Abadi et al., "
+                    "SIGMOD 2008.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_FIGURES) + ["storage", "all", "report",
+                                    "breakdown"],
+        help="which experiment to run ('report' writes markdown; "
+             "'breakdown' prices one query's ledger)",
+    )
+    parser.add_argument("--query", default="Q2.1",
+                        help="query for 'breakdown' (default Q2.1)")
+    parser.add_argument("--config", default="tICL",
+                        help="column-store config for 'breakdown'")
+    parser.add_argument("--design", default="T",
+                        help="row-store design for 'breakdown'")
+    parser.add_argument("--sf", type=float, default=None,
+                        help="scale factor (default: REPRO_SF env or 0.05)")
+    parser.add_argument("--verify", action="store_true",
+                        help="check every result against the oracle")
+    parser.add_argument("--out", default=None,
+                        help="output path for the 'report' target "
+                             "(default: stdout)")
+    args = parser.parse_args(argv)
+
+    harness = Harness(scale_factor=args.sf,
+                      verify_against_reference=args.verify)
+    print(f"scale factor {harness.scale_factor} "
+          f"({int(6_000_000 * harness.scale_factor)} fact rows), "
+          f"seed {harness.seed}")
+
+    if args.target == "breakdown":
+        from ..core.config import ExecutionConfig
+        from ..rowstore.designs import DesignKind
+        from ..ssb import query_by_name
+
+        query = query_by_name(args.query)
+        config = ExecutionConfig.from_label(args.config)
+        design = next(d for d in DesignKind if d.value == args.design)
+        col_run = harness.cstore().execute(query, config)
+        row_run = harness.system_x([design]).execute(query, design)
+        print()
+        print(render_cost_breakdown(
+            col_run.stats, harness.cstore().cost_model,
+            f"{args.query} on the column store [{config.label}]"))
+        print()
+        print(render_cost_breakdown(
+            row_run.stats, harness.cstore().cost_model,
+            f"{args.query} on the row store [{design.value}]"))
+        return 0
+
+    if args.target == "report":
+        from .markdown import write_report
+
+        document = write_report(harness)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(document)
+            print(f"wrote {args.out}")
+        else:
+            print(document)
+        return 0
+
+    targets = sorted(_FIGURES) + ["storage"] if args.target == "all" \
+        else [args.target]
+    for target in targets:
+        started = time.time()
+        if target == "storage":
+            print()
+            print(render_storage(figures.storage_report(harness)))
+        else:
+            driver, paper = _FIGURES[target]
+            grid = driver(harness)
+            print()
+            print(render_grid(grid))
+            print()
+            print(render_bars(grid))
+            print()
+            print(render_comparison(grid, paper))
+        print(f"\n[{target} regenerated in {time.time() - started:.1f}s "
+              f"wall clock]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""One driver per paper figure.
+
+Each returns a :class:`~repro.bench.harness.RunGrid` whose series labels
+match the paper's, so :mod:`~repro.bench.report` can print measured and
+published numbers side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.config import CONFIG_LADDER
+from ..rowstore.designs import DesignKind
+from ..storage.colfile import CompressionLevel
+from ..types import RECORD_ID_BYTES, ROW_TUPLE_HEADER_BYTES
+from .harness import Harness, RunGrid
+
+#: Figure 6 design order with the paper's labels.
+FIGURE6_DESIGNS = [
+    ("T", DesignKind.TRADITIONAL),
+    ("T(B)", DesignKind.TRADITIONAL_BITMAP),
+    ("MV", DesignKind.MATERIALIZED_VIEWS),
+    ("VP", DesignKind.VERTICAL_PARTITIONING),
+    ("AI", DesignKind.INDEX_ONLY),
+]
+
+#: Figure 8 denormalization cases.
+FIGURE8_LEVELS = [
+    ("PJ, No C", CompressionLevel.NONE),
+    ("PJ, Int C", CompressionLevel.INT),
+    ("PJ, Max C", CompressionLevel.MAX),
+]
+
+
+def figure5(harness: Harness) -> RunGrid:
+    """RS, RS (MV), CS, CS (Row-MV) baselines across all 13 queries."""
+    grid = RunGrid("Figure 5: baseline comparison")
+    for query in harness.queries():
+        grid.add("RS", query.name,
+                 harness.run_row_design(query, DesignKind.TRADITIONAL))
+        grid.add("RS (MV)", query.name,
+                 harness.run_row_design(query,
+                                        DesignKind.MATERIALIZED_VIEWS))
+        grid.add("CS", query.name,
+                 harness.run_column_config(query, CONFIG_LADDER[0]))
+        grid.add("CS (Row-MV)", query.name, harness.run_row_mv(query))
+    return grid
+
+
+def figure6(harness: Harness) -> RunGrid:
+    """The five row-store physical designs."""
+    grid = RunGrid("Figure 6: row-store designs")
+    for label, design in FIGURE6_DESIGNS:
+        for query in harness.queries():
+            grid.add(label, query.name,
+                     harness.run_row_design(query, design))
+    return grid
+
+
+def figure7(harness: Harness) -> RunGrid:
+    """The C-Store ablation ladder tICL .. Ticl."""
+    grid = RunGrid("Figure 7: column-store optimization ablation")
+    for config in CONFIG_LADDER:
+        for query in harness.queries():
+            grid.add(config.label, query.name,
+                     harness.run_column_config(query, config))
+    return grid
+
+
+def figure8(harness: Harness) -> RunGrid:
+    """Invisible join vs. the three denormalized-table treatments."""
+    grid = RunGrid("Figure 8: denormalization study")
+    for query in harness.queries():
+        grid.add("Base", query.name,
+                 harness.run_column_config(query, CONFIG_LADDER[0]))
+    for label, level in FIGURE8_LEVELS:
+        for query in harness.queries():
+            grid.add(label, query.name,
+                     harness.run_denormalized(query, level))
+    return grid
+
+
+def storage_report(harness: Harness) -> Dict[str, float]:
+    """Section 6.2's storage-size comparison, in MB.
+
+    The paper (at SF 10): a single VP column-table takes 0.7-1.1 GB, the
+    whole traditional fact table ~4 GB compressed, a C-Store integer
+    column 240 MB plain, and the entire compressed C-Store table 2.3 GB.
+    """
+    data = harness.data
+    out: Dict[str, float] = {}
+    mb = 1024.0 * 1024.0
+
+    sx = harness.system_x([DesignKind.TRADITIONAL,
+                           DesignKind.VERTICAL_PARTITIONING])
+    traditional = sum(h.size_bytes
+                      for h in sx.artifacts.fact_partitions.values())
+    out["row-store fact heap (traditional)"] = traditional / mb
+    vp_sizes = {c: h.size_bytes for c, h in sx.artifacts.vp_heaps.items()}
+    out["vertical partition: one int column-table"] = \
+        vp_sizes["quantity"] / mb
+    out["vertical partition: all 17 column-tables"] = \
+        sum(vp_sizes.values()) / mb
+
+    cs = harness.cstore()
+    compressed = cs.projection("lineorder", CompressionLevel.MAX)
+    plain = cs.projection("lineorder", CompressionLevel.NONE)
+    out["C-Store fact projection (compressed)"] = \
+        compressed.size_bytes() / mb
+    out["C-Store fact projection (uncompressed)"] = plain.size_bytes() / mb
+    out["C-Store one int column (uncompressed)"] = \
+        plain.column_file("quantity").size_bytes / mb
+    out["C-Store one int column (compressed)"] = \
+        compressed.column_file("quantity").size_bytes / mb
+    out["C-Store orderdate column (compressed, RLE)"] = \
+        compressed.column_file("orderdate").compressed_payload_bytes / mb
+
+    n = data.lineorder.num_rows
+    out["per-row overhead bytes (row store)"] = float(
+        ROW_TUPLE_HEADER_BYTES)
+    out["per-value overhead bytes (VP: header + rid)"] = float(
+        ROW_TUPLE_HEADER_BYTES + RECORD_ID_BYTES)
+    out["fact rows"] = float(n)
+    return out
+
+
+__all__ = [
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "storage_report",
+    "FIGURE6_DESIGNS",
+    "FIGURE8_LEVELS",
+]

@@ -1,0 +1,79 @@
+"""Markdown report generation: a machine-written EXPERIMENTS section.
+
+``python -m repro.bench report --out results.md`` runs every figure and
+the storage report at the active scale factor and writes a self-contained
+markdown document with measured tables, paper numbers, and shape ratios —
+so a rerun at any scale factor documents itself.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List
+
+from . import figures
+from .harness import Harness, RunGrid
+from .paper_data import (
+    PAPER_FIGURE5,
+    PAPER_FIGURE6,
+    PAPER_FIGURE7,
+    PAPER_FIGURE8,
+    QUERY_ORDER,
+    average,
+)
+from .report import normalized_averages
+
+
+def _grid_markdown(grid: RunGrid, paper: Dict[str, Dict[str, float]]) -> str:
+    out = io.StringIO()
+    out.write(f"### {grid.title}\n\n")
+    header = "| series | " + " | ".join(QUERY_ORDER) + " | AVG |\n"
+    out.write(header)
+    out.write("|" + "---|" * (len(QUERY_ORDER) + 2) + "\n")
+    for label, series in grid.series.items():
+        cells = [f"{series[q]:.4f}" for q in QUERY_ORDER]
+        avg = sum(series.values()) / len(series)
+        out.write(f"| {label} | " + " | ".join(cells) + f" | {avg:.4f} |\n")
+    out.write("\nShape comparison (each series / the figure's baseline):\n\n")
+    ours = normalized_averages(grid.series)
+    theirs = normalized_averages(paper)
+    out.write("| series | measured | paper |\n|---|---|---|\n")
+    for label in grid.series:
+        paper_text = f"{theirs[label]:.2f}" if label in theirs else "-"
+        out.write(f"| {label} | {ours[label]:.2f} | {paper_text} |\n")
+    out.write("\n")
+    return out.getvalue()
+
+
+def _storage_markdown(report: Dict[str, float]) -> str:
+    out = io.StringIO()
+    out.write("### Storage report\n\n| metric | value |\n|---|---|\n")
+    for key, value in report.items():
+        out.write(f"| {key} | {value:.2f} |\n")
+    out.write("\n")
+    return out.getvalue()
+
+
+def write_report(harness: Harness) -> str:
+    """Run all experiments and return the markdown document."""
+    out = io.StringIO()
+    out.write("# Measured results\n\n")
+    out.write(
+        f"Scale factor **{harness.scale_factor}** "
+        f"({int(6_000_000 * harness.scale_factor):,} fact rows), seed "
+        f"{harness.seed}.  Values are simulated seconds on the paper's "
+        f"2008 hardware; paper columns are its published SF-10 "
+        f"wall-clock numbers, compared via per-figure baselines.\n\n")
+    for driver, paper in (
+        (figures.figure5, PAPER_FIGURE5),
+        (figures.figure6, PAPER_FIGURE6),
+        (figures.figure7, PAPER_FIGURE7),
+        (figures.figure8, PAPER_FIGURE8),
+    ):
+        grid = driver(harness)
+        out.write(_grid_markdown(grid, paper))
+    out.write(_storage_markdown(figures.storage_report(harness)))
+    return out.getvalue()
+
+
+__all__ = ["write_report"]

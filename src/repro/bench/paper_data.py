@@ -1,0 +1,95 @@
+"""The numbers printed in the paper's figures (seconds at SF 10).
+
+Transcribed from Figures 5, 6(a), 7(a) and 8.  Used only for
+side-by-side shape comparison in reports and EXPERIMENTS.md — the
+reproduction never calibrates against per-query values, only the shared
+hardware constants in :mod:`repro.simio.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+QUERY_ORDER: List[str] = [
+    "Q1.1", "Q1.2", "Q1.3",
+    "Q2.1", "Q2.2", "Q2.3",
+    "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+    "Q4.1", "Q4.2", "Q4.3",
+]
+
+
+def _series(*values: float) -> Dict[str, float]:
+    assert len(values) == len(QUERY_ORDER)
+    return dict(zip(QUERY_ORDER, values))
+
+
+#: Figure 5 — baseline comparison.
+PAPER_FIGURE5: Dict[str, Dict[str, float]] = {
+    "RS": _series(2.7, 2.0, 1.5, 43.8, 44.1, 46.0, 43.0, 42.8, 31.2, 6.5,
+                  44.4, 14.1, 12.2),
+    "RS (MV)": _series(1.0, 1.0, 0.2, 15.5, 13.5, 11.8, 16.1, 6.9, 6.4, 3.0,
+                       29.2, 22.4, 6.4),
+    "CS": _series(0.4, 0.1, 0.1, 5.7, 4.2, 3.9, 11.0, 4.4, 7.6, 0.6,
+                  8.2, 3.7, 2.6),
+    "CS (Row-MV)": _series(16.0, 9.1, 8.4, 33.5, 23.5, 22.3, 48.5, 21.5,
+                           17.6, 17.4, 48.6, 38.4, 32.1),
+}
+
+#: Figure 6(a) — row-store designs.
+PAPER_FIGURE6: Dict[str, Dict[str, float]] = {
+    "T": _series(2.7, 2.0, 1.5, 43.8, 44.1, 46.0, 43.0, 42.8, 31.2, 6.5,
+                 44.4, 14.1, 12.2),
+    "T(B)": _series(9.9, 11.0, 1.5, 91.9, 78.4, 304.1, 91.4, 65.3, 31.2, 6.5,
+                    94.4, 25.3, 21.2),
+    "MV": _series(1.0, 1.0, 0.2, 15.5, 13.5, 11.8, 16.1, 6.9, 6.4, 3.0,
+                  29.2, 22.4, 6.4),
+    "VP": _series(69.7, 36.0, 36.0, 65.1, 48.8, 39.0, 139.1, 63.9, 48.2,
+                  47.0, 208.6, 150.4, 86.3),
+    "AI": _series(107.2, 50.8, 48.5, 359.8, 46.4, 43.9, 413.8, 40.7, 531.4,
+                  65.5, 623.9, 280.1, 263.9),
+}
+
+#: Figure 7(a) — C-Store optimization ablation.
+PAPER_FIGURE7: Dict[str, Dict[str, float]] = {
+    "tICL": _series(0.4, 0.1, 0.1, 5.7, 4.2, 3.9, 11.0, 4.4, 7.6, 0.6,
+                    8.2, 3.7, 2.6),
+    "TICL": _series(0.4, 0.1, 0.1, 7.4, 6.7, 6.5, 17.3, 11.2, 12.6, 0.7,
+                    10.7, 5.5, 4.3),
+    "tiCL": _series(0.3, 0.1, 0.1, 13.6, 12.6, 12.2, 16.0, 9.0, 7.5, 0.6,
+                    15.8, 5.5, 4.1),
+    "TiCL": _series(0.4, 0.1, 0.1, 14.8, 13.8, 13.4, 21.4, 14.1, 12.6, 0.7,
+                    17.0, 6.9, 5.4),
+    "ticL": _series(3.8, 2.1, 2.1, 15.0, 13.9, 13.6, 31.9, 15.5, 13.5, 13.5,
+                    30.1, 20.4, 15.8),
+    "TicL": _series(7.1, 6.1, 6.0, 16.1, 14.9, 14.7, 31.9, 15.5, 13.6, 13.6,
+                    30.0, 21.4, 16.9),
+    "Ticl": _series(33.4, 28.2, 27.4, 40.5, 36.0, 35.0, 56.5, 34.0, 30.3,
+                    30.2, 66.3, 60.8, 54.4),
+}
+
+#: Figure 8 — invisible join vs. denormalization.
+PAPER_FIGURE8: Dict[str, Dict[str, float]] = {
+    "Base": _series(0.4, 0.1, 0.1, 5.7, 4.2, 3.9, 11.0, 4.4, 7.6, 0.6,
+                    8.2, 3.7, 2.6),
+    "PJ, No C": _series(0.4, 0.1, 0.2, 32.9, 25.4, 12.1, 42.7, 43.1, 31.6,
+                        28.4, 46.8, 9.3, 6.8),
+    "PJ, Int C": _series(0.3, 0.1, 0.1, 11.8, 3.0, 2.6, 11.7, 8.3, 5.5, 4.1,
+                         10.0, 2.2, 1.5),
+    "PJ, Max C": _series(0.7, 0.2, 0.2, 6.1, 2.3, 1.9, 7.3, 3.6, 3.9, 3.2,
+                         6.8, 1.8, 1.1),
+}
+
+
+def average(series: Dict[str, float]) -> float:
+    """The AVG column the paper appends to each figure."""
+    return sum(series.values()) / len(series)
+
+
+__all__ = [
+    "QUERY_ORDER",
+    "PAPER_FIGURE5",
+    "PAPER_FIGURE6",
+    "PAPER_FIGURE7",
+    "PAPER_FIGURE8",
+    "average",
+]

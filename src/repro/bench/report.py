@@ -1,0 +1,138 @@
+"""Paper-style table rendering and shape comparison.
+
+``render_grid`` prints a figure in the paper's layout (one row per
+series, one column per query, AVG last).  ``render_comparison`` prints
+measured and published numbers together, normalized so shapes are
+directly comparable: each series is expressed relative to the figure's
+first series (the paper's baseline), which removes the absolute-scale
+difference between simulated seconds at the benchmark SF and the paper's
+SF-10 wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import RunGrid
+from .paper_data import QUERY_ORDER, average
+
+
+def _format_row(label: str, values: Sequence[float], width: int = 8) -> str:
+    cells = " ".join(f"{v:{width}.4f}" for v in values)
+    return f"{label:>12} {cells}"
+
+
+def render_grid(grid: RunGrid, queries: Optional[List[str]] = None) -> str:
+    """The figure as a fixed-width table (simulated seconds)."""
+    queries = queries or QUERY_ORDER
+    lines = [grid.title, ""]
+    header = " ".join(f"{q:>8}" for q in queries) + "      AVG"
+    lines.append(f"{'':>12} {header}")
+    for label, series in grid.series.items():
+        values = [series[q] for q in queries]
+        values.append(sum(values) / len(values))
+        lines.append(_format_row(label, values))
+    return "\n".join(lines)
+
+
+def normalized_averages(series: Dict[str, Dict[str, float]]
+                        ) -> Dict[str, float]:
+    """Average of each series divided by the first series' average."""
+    labels = list(series)
+    base = average(series[labels[0]])
+    return {label: average(series[label]) / base for label in labels}
+
+
+def render_comparison(grid: RunGrid,
+                      paper: Dict[str, Dict[str, float]]) -> str:
+    """Measured vs. published, as ratios to each source's own baseline."""
+    ours = normalized_averages(grid.series)
+    theirs = normalized_averages(paper)
+    lines = [
+        f"{grid.title} — shape comparison (x the figure's baseline)",
+        "",
+        f"{'series':>12} {'measured':>10} {'paper':>10}",
+    ]
+    for label in grid.series:
+        paper_value = theirs.get(label)
+        paper_text = f"{paper_value:10.2f}" if paper_value is not None \
+            else f"{'-':>10}"
+        lines.append(f"{label:>12} {ours[label]:10.2f} {paper_text}")
+    return "\n".join(lines)
+
+
+def render_storage(report: Dict[str, float]) -> str:
+    """The Section 6.2 storage report."""
+    lines = ["Storage report (MB unless noted)", ""]
+    for key, value in report.items():
+        lines.append(f"  {key:<48} {value:12.2f}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "render_grid",
+    "render_comparison",
+    "render_storage",
+    "normalized_averages",
+]
+
+
+#: (ledger counter, cost-model constant attribute) pairs for breakdowns.
+_CPU_TERMS = [
+    ("iterator_calls", "iterator_call_seconds"),
+    ("attr_extractions", "attr_extraction_seconds"),
+    ("tuple_bytes_scanned", "tuple_byte_seconds"),
+    ("values_scanned_scalar", "scalar_value_seconds"),
+    ("values_scanned_vector", "vector_value_seconds"),
+    ("block_calls", "block_call_seconds"),
+    ("hash_probes", "hash_probe_seconds"),
+    ("hash_inserts", "hash_insert_seconds"),
+    ("range_checks", "range_check_seconds"),
+    ("position_ops", "position_op_seconds"),
+    ("tuples_constructed", "tuple_construct_seconds"),
+    ("tuple_attrs_copied", "tuple_attr_copy_seconds"),
+    ("values_decompressed", "decompress_value_seconds"),
+    ("runs_processed", "run_op_seconds"),
+    ("agg_updates", "agg_update_seconds"),
+    ("sort_compares", "sort_compare_seconds"),
+    ("dict_lookups", "dict_lookup_seconds"),
+]
+
+
+def render_cost_breakdown(stats, model, title: str = "") -> str:
+    """Per-counter priced contributions for one query's ledger —
+    the Section 6.3.2-style 'where did the time go' analysis."""
+    lines = []
+    if title:
+        lines.append(title)
+    io_transfer = stats.bytes_read / (model.seq_mbps * 1024 * 1024)
+    io_seek = stats.seeks * model.seek_seconds
+    total = model.seconds(stats)
+    lines.append(f"  {'term':<24} {'count':>12} {'seconds':>10} {'share':>7}")
+    rows = [
+        ("bytes_read (transfer)", stats.bytes_read, io_transfer),
+        ("seeks", stats.seeks, io_seek),
+    ]
+    for counter, constant in _CPU_TERMS:
+        count = getattr(stats, counter)
+        if count:
+            rows.append((counter, count,
+                         count * getattr(model, constant)))
+    for name, count, seconds in sorted(rows, key=lambda r: -r[2]):
+        share = seconds / total if total else 0.0
+        lines.append(f"  {name:<24} {count:>12,} {seconds:>10.5f} "
+                     f"{share:>6.1%}")
+    lines.append(f"  {'TOTAL':<24} {'':>12} {total:>10.5f}")
+    return "\n".join(lines)
+
+
+def render_bars(grid: RunGrid, width: int = 46) -> str:
+    """The figure as an ASCII bar chart of series averages — the visual
+    analogue of the paper's Figure 5/6(b)/7(b) average bars."""
+    averages = grid.averages()
+    peak = max(averages.values()) or 1.0
+    lines = [f"{grid.title} — averages"]
+    for label, value in averages.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"  {label:>12} {bar} {value:.4f}s")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The column-store engine ("C-Store" in the paper).
+
+Storage is one :class:`~repro.storage.projection.Projection` per table:
+the fact table sorted on (orderdate, quantity, discount), dimensions
+sorted by their rollup hierarchies.  Execution follows Section 5:
+
+* predicate scans produce **position lists** (:mod:`positions`) — ranges,
+  bitmaps, or arrays — intersected with bitwise ANDs;
+* scans operate **directly on RLE runs** when compression is enabled;
+* values are fetched **late**, only at surviving positions, with block
+  skipping;
+* star joins run through the **invisible join**
+  (:mod:`repro.core.invisible_join`) or its late-materialized hash-join
+  fallback;
+* every optimization can be disabled via
+  :class:`~repro.core.config.ExecutionConfig`, reproducing the paper's
+  tICL..Ticl ablation grid (Figure 7).
+"""
+
+from .positions import ArrayPositions, BitmapPositions, RangePositions
+
+__all__ = [
+    "CStore",
+    "ColumnStoreRun",
+    "ArrayPositions",
+    "BitmapPositions",
+    "RangePositions",
+]
+
+
+def __getattr__(name):
+    # engine (and through it the planner) imports repro.core, which in
+    # turn uses this package's operators; loading the engine lazily keeps
+    # the import graph acyclic.
+    if name in ("CStore", "ColumnStoreRun"):
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

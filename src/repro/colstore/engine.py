@@ -1,0 +1,331 @@
+"""The C-Store facade: load projections once, execute queries per config.
+
+Also implements the "CS Row-MV" mode of Figure 5: the row-oriented
+materialized-view data is stored inside the column store as a table with
+a single string column whose values are entire tuples (exactly the trick
+the paper describes in Section 6.1), and queries over it reconstruct
+tuples up front and run the row-style pipeline.  C-Store has no
+partitioning, so Row-MV scans always read every year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..plan.logical import StarQuery
+from ..result import ResultSet
+from ..simio.buffer_pool import BufferPool
+from ..simio.disk import SimulatedDisk
+from ..simio.stats import CostBreakdown, CostModel, PAPER_2008, QueryStats
+from ..ssb.generator import SsbData
+from ..ssb.queries import FLIGHT_OF
+from ..ssb.schema import DIMENSION_SORT_KEYS, FACT_SORT_KEYS
+from ..storage.colfile import ColumnFile, CompressionLevel
+from ..storage.column import Column
+from ..storage.projection import Projection
+from ..storage.rowpage import RowFormat
+from ..storage.table import Table
+from ..core.config import ExecutionConfig
+from ..rowstore.designs import mv_columns_for_flight
+from .operators.materialize import row_pipeline
+from .operators.scan import stored_bounds
+from .planner import ColumnPlanner, StoreContext
+
+#: Same machine as the row store: pool scales with the data (Section 6).
+PAPER_BUFFER_POOL_BYTES = 500 * 1024 * 1024
+PAPER_SCALE_FACTOR = 10.0
+MIN_POOL_BYTES = 8 * 32 * 1024
+
+
+@dataclass
+class ColumnStoreRun:
+    """Outcome of one query execution."""
+
+    result: ResultSet
+    stats: QueryStats
+    cost: CostBreakdown
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.total_seconds
+
+
+class CStore:
+    """A C-Store-style column engine over the simulated disk.
+
+    Parameters
+    ----------
+    data:
+        The generated SSB database.
+    levels:
+        Which compression levels to materialize projections at.  ``MAX``
+        serves the compressed configurations, ``NONE`` the uncompressed
+        ones; load only what you need.
+    row_mv:
+        Also store the per-flight materialized views as rows-in-a-string-
+        column for the CS Row-MV experiment.
+    """
+
+    def __init__(
+        self,
+        data: SsbData,
+        levels: Sequence[CompressionLevel] = (
+            CompressionLevel.MAX, CompressionLevel.NONE),
+        row_mv: bool = False,
+        cost_model: CostModel = PAPER_2008,
+        buffer_pool_bytes: Optional[int] = None,
+    ) -> None:
+        self.data = data
+        self.cost_model = cost_model
+        scale = data.scale_factor / PAPER_SCALE_FACTOR
+        if buffer_pool_bytes is None:
+            buffer_pool_bytes = max(MIN_POOL_BYTES,
+                                    int(PAPER_BUFFER_POOL_BYTES * scale))
+        self.disk = SimulatedDisk()
+        self.pool = BufferPool(self.disk, buffer_pool_bytes)
+        self._projections: Dict[Tuple[str, CompressionLevel],
+                                List[Projection]] = {}
+        self._tables: Dict[str, Table] = dict(data.tables)
+        self._contiguous: Dict[str, Optional[int]] = {}
+        self._monotonic: Dict[str, bool] = {}
+        for level in levels:
+            self.load_table(data.lineorder, FACT_SORT_KEYS, level)
+            for name, dim in data.dimensions().items():
+                self.load_table(dim, DIMENSION_SORT_KEYS[name], level)
+        self._row_mv: Dict[int, Tuple[RowFormat, ColumnFile, List[str]]] = {}
+        if row_mv:
+            for flight in sorted({FLIGHT_OF[name] for name in FLIGHT_OF}):
+                self.load_row_mv(flight)
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def load_table(self, table: Table, sort_keys: Sequence[str],
+                   level: CompressionLevel) -> Projection:
+        """Materialize a projection of ``table`` (idempotent per level
+        and sort order).  The first projection loaded for a table is its
+        default; later ones (see :meth:`add_projection`) become
+        candidates for query-driven projection selection."""
+        key = (table.name, level)
+        existing = self._projections.get(key, [])
+        for projection in existing:
+            if projection.sort_order.keys == tuple(sort_keys):
+                return projection
+        name = (f"{table.name}.{level.value}."
+                f"{'_'.join(sort_keys) or 'unsorted'}")
+        projection = Projection.create(self.disk, table, sort_keys, level,
+                                       name=name)
+        self._projections.setdefault(key, []).append(projection)
+        self._tables[table.name] = table
+        if table.name not in self._contiguous:
+            self._classify_keys(table)
+        return projection
+
+    def add_projection(self, table_name: str, sort_keys: Sequence[str],
+                       levels: Optional[Sequence[CompressionLevel]] = None
+                       ) -> None:
+        """Store an *additional* projection of an already-loaded table in
+        a different sort order — the redundancy C-Store supports but the
+        paper deliberately forgoes (Section 5.1).  The planner picks the
+        projection whose primary sort key is restricted by the query."""
+        table = self._tables[table_name]
+        if levels is None:
+            levels = sorted({lv for (t, lv) in self._projections
+                             if t == table_name}, key=lambda lv: lv.value)
+        for level in levels:
+            self.load_table(table, sort_keys, level)
+
+    def _classify_keys(self, table: Table) -> None:
+        """Detect contiguous-from-1 and monotonic key columns (used by
+        the invisible join's extraction phase)."""
+        key_column = table.columns()[0]
+        if key_column.dictionary is not None:
+            self._contiguous[table.name] = None
+            self._monotonic[table.name] = False
+            return
+        keys = key_column.data
+        if len(keys) and np.array_equal(
+                keys, np.arange(1, len(keys) + 1, dtype=keys.dtype)):
+            self._contiguous[table.name] = 1
+            self._monotonic[table.name] = True
+        else:
+            self._contiguous[table.name] = None
+            self._monotonic[table.name] = bool(
+                len(keys) == 0 or np.all(np.diff(keys.astype(np.int64)) >= 0))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _context(self) -> StoreContext:
+        return StoreContext(
+            pool=self.pool,
+            projections=self._projections,
+            tables=self._tables,
+            dim_key_contiguous=self._contiguous,
+            dim_key_monotonic=self._monotonic,
+        )
+
+    def execute(
+        self,
+        query: StarQuery,
+        config: ExecutionConfig = ExecutionConfig.baseline(),
+        level: Optional[CompressionLevel] = None,
+        cold_pool: bool = True,
+    ) -> ColumnStoreRun:
+        """Run ``query`` under ``config`` on a fresh ledger.
+
+        ``level`` overrides the compression level implied by the config
+        (used by the Figure 8 denormalization cases, where "PJ, Int C"
+        keeps dictionary codes but no further compression).
+        ``cold_pool=False`` keeps the pool warm across runs (the
+        paper's Section 6.1 measurement protocol).
+        """
+        stats = QueryStats()
+        self.disk.stats = stats
+        # cold pool per query: order-independent, deterministic ledgers
+        if cold_pool:
+            self.pool.clear()
+        else:
+            self.disk.reset_head()
+        planner = ColumnPlanner(self._context(), config, level)
+        result = planner.run(query)
+        return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+
+    def storage_bytes(self) -> int:
+        return self.disk.total_bytes
+
+    def projection(self, table: str, level: CompressionLevel) -> Projection:
+        return self._context().projection(table, level)
+
+    def explain(
+        self,
+        query: StarQuery,
+        config: ExecutionConfig = ExecutionConfig.baseline(),
+        level: Optional[CompressionLevel] = None,
+    ) -> str:
+        """EXPLAIN (analyze-style): execute ``query`` on a throwaway
+        ledger and describe the plan with its run-time decisions —
+        between-rewrites taken, hash fallbacks, surviving positions."""
+        from .explain import explain as _explain
+
+        saved = self.disk.stats
+        self.disk.stats = QueryStats()
+        try:
+            return _explain(self._context(), query, config, level)
+        finally:
+            self.disk.stats = saved
+
+    # ------------------------------------------------------------------ #
+    # CS Row-MV (Figure 5)
+    # ------------------------------------------------------------------ #
+    def load_row_mv(self, flight: int) -> None:
+        """Store flight ``flight``'s materialized view as rows inside the
+        column store: one column of type string, each value a tuple."""
+        if flight in self._row_mv:
+            return
+        columns = mv_columns_for_flight(flight)
+        view = self.data.lineorder.project(columns,
+                                           new_name=f"rowmv_f{flight}")
+        fmt = RowFormat(view.schema, header_bytes=0)
+        records = fmt.build_records(view)
+        blob = np.frombuffer(records.tobytes(),
+                             dtype=f"S{fmt.record_width}")
+        colfile = ColumnFile.load(
+            self.disk, f"rowmv_f{flight}.rows",
+            _ByteColumn(f"rowmv_f{flight}", blob),
+            CompressionLevel.NONE)
+        self._row_mv[flight] = (fmt, colfile, columns)
+
+    def execute_row_mv(self, query: StarQuery) -> ColumnStoreRun:
+        """Figure 5's "CS (Row-MV)": scan the row-blob column, reconstruct
+        tuples, then run the row-style pipeline (no partition pruning)."""
+        flight = FLIGHT_OF.get(query.name)
+        if flight is None or flight not in self._row_mv:
+            raise PlanError(
+                f"row-MV for query {query.name!r} not loaded; call "
+                f"load_row_mv({flight}) first"
+            )
+        fmt, colfile, _columns = self._row_mv[flight]
+        stats = QueryStats()
+        self.disk.stats = stats
+        self.pool.clear()
+        config = ExecutionConfig.row_store_like()
+        planner = ColumnPlanner(self._context(), config,
+                                CompressionLevel.MAX)
+
+        raw = colfile.read_all(self.pool)
+        n = len(raw)
+        stats.iterator_calls += n  # the scan's per-tuple getNext
+        records = np.frombuffer(raw.tobytes(), dtype=fmt.dtype)
+        needed = query.fact_columns_needed()
+        fact_arrays = {c: np.ascontiguousarray(records[c]) for c in needed}
+        stats.tuples_constructed += n
+        stats.tuple_attrs_copied += n * len(needed)
+
+        pred_domains = [
+            (p.column, stored_bounds(
+                p, self.data.lineorder.column(p.column),
+                CompressionLevel.NONE))
+            for p in query.fact_predicates()
+        ]
+        dims = [planner._dimension_rows_early(query, d)
+                for d in query.dimensions_used()]
+        group_raw, agg_arrays, _dims = row_pipeline(
+            query, fact_arrays, pred_domains, dims, stats)
+
+        from ..plan.aggregates import (
+            finalize as finalize_agg,
+            reduce_groups,
+            reduce_scalar,
+        )
+
+        agg_funcs = [a.func for a in query.aggregates]
+        if not query.group_by:
+            cells = [finalize_agg(func, *reduce_scalar(func, values))
+                     for func, values in zip(agg_funcs, agg_arrays)]
+            columns = [a.alias for a in query.aggregates]
+            result = ResultSet(columns, [tuple(cells)]).order_by(
+                query.order_by).limited(query.limit)
+            return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+
+        group_arrays: List[np.ndarray] = []
+        planner._group_lookups = []
+        for raw_arr in group_raw:
+            codes, lookup = planner._normalize_group_array(raw_arr)
+            group_arrays.append(codes)
+            planner._group_lookups.append(lookup)
+        matrix = np.stack(group_arrays)
+        uniq, inverse = np.unique(matrix, axis=1, return_inverse=True)
+        reduced = [reduce_groups(func, values, inverse, uniq.shape[1])
+                   for func, values in zip(agg_funcs, agg_arrays)]
+        result = planner._finalize(query, group_arrays, (uniq, reduced))
+        return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+
+
+class _ByteCType:
+    """Type descriptor for a raw byte-string blob column."""
+
+    is_string = False
+
+    def __init__(self, dtype: np.dtype) -> None:
+        self.width = dtype.itemsize
+        self.numpy_dtype = dtype
+
+
+class _ByteColumn:
+    """Adapter presenting a raw byte-string array (one whole tuple per
+    value) as a loadable column — the paper's "single column of type
+    string whose values are entire tuples"."""
+
+    def __init__(self, name: str, data: np.ndarray) -> None:
+        self.name = name
+        self.data = data
+        self.dictionary = None
+        self.ctype = _ByteCType(data.dtype)
+
+
+__all__ = ["CStore", "ColumnStoreRun"]

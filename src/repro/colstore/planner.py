@@ -1,0 +1,383 @@
+"""Config-driven query planning for the column store.
+
+Late-materialization plans run the invisible join (or its hash fallback),
+fetch aggregate inputs only at surviving positions, and aggregate
+vectorized.  Early-materialization plans read whole columns, construct
+tuples up front, and execute a row-store-style pipeline — which is also
+the execution mode of the "CS Row-MV" configuration.
+
+Output decoding is uniform: group values travel in the stored domain
+(ints, dictionary codes, or raw bytes when compression is off) and are
+decoded per output cell at the end, charging a dictionary lookup per
+decoded string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..plan.logical import StarQuery
+from ..result import ResultSet, Row
+from ..simio.buffer_pool import BufferPool
+from ..simio.stats import QueryStats
+from ..storage.colfile import CompressionLevel
+from ..storage.column import Column
+from ..storage.projection import Projection
+from ..core.config import ExecutionConfig
+from ..core.invisible_join import (
+    DimensionSide,
+    InvisibleJoin,
+    LateMaterializedJoin,
+)
+from .operators.aggregate import (
+    eval_fact_expr,
+    grouped_aggregate,
+    scalar_aggregate,
+)
+from .operators.fetch import fetch_values, read_column
+from .operators.join import gather_attribute
+from .operators.materialize import (
+    DimensionRows,
+    _apply_row_predicate,
+    row_pipeline,
+)
+from .operators.scan import stored_bounds
+
+Decoder = Callable[[object], object]
+
+
+class StoreContext:
+    """What the planner needs from the engine (duck-typed facade slice)."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        projections: Dict[Tuple[str, CompressionLevel], List[Projection]],
+        tables: Dict[str, "object"],  # name -> storage Table
+        dim_key_contiguous: Dict[str, Optional[int]],
+        dim_key_monotonic: Dict[str, bool],
+    ) -> None:
+        self.pool = pool
+        self.projections = projections
+        self.tables = tables
+        self.dim_key_contiguous = dim_key_contiguous
+        self.dim_key_monotonic = dim_key_monotonic
+
+    def candidates(self, table: str, level: CompressionLevel
+                   ) -> List[Projection]:
+        try:
+            return self.projections[(table, level)]
+        except KeyError:
+            raise PlanError(
+                f"no projection loaded for table {table!r} at level "
+                f"{level.value!r}"
+            ) from None
+
+    def projection(self, table: str, level: CompressionLevel) -> Projection:
+        """The table's primary (first-loaded) projection."""
+        return self.candidates(table, level)[0]
+
+    def best_projection(self, table: str, level: CompressionLevel,
+                        query: StarQuery) -> Projection:
+        """Pick the projection whose sort order serves ``query`` best.
+
+        C-Store's projection selection, reduced to the property that
+        matters here: a predicate (native or join-rewritten) on the
+        projection's *primary* sort column turns into a contiguous
+        position range, enabling block skipping for every later column.
+        Earlier sort positions score higher; ties keep the first-loaded
+        (default) projection.
+        """
+        candidates = self.candidates(table, level)
+        if len(candidates) == 1 or table != query.fact_table:
+            return candidates[0]
+        restricted = {p.column for p in query.fact_predicates()}
+        for dim in query.dimensions_used():
+            if query.dimension_predicates(dim):
+                restricted.add(query.fk_of(dim))
+
+        def score(projection: Projection) -> float:
+            total = 0.0
+            for column in restricted:
+                position = projection.sorted_on(column)
+                if position is not None:
+                    total += 1.0 / (1 + position)
+            return total
+
+        return max(candidates, key=score)
+
+    def catalog_column(self, table: str, column: str) -> Column:
+        return self.tables[table].column(column)
+
+
+class ColumnPlanner:
+    """Plans and executes one StarQuery under one configuration."""
+
+    def __init__(self, ctx: StoreContext, config: ExecutionConfig,
+                 level: Optional[CompressionLevel] = None) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.level = level if level is not None else (
+            CompressionLevel.MAX if config.compression
+            else CompressionLevel.NONE)
+
+    @property
+    def pool(self) -> BufferPool:
+        return self.ctx.pool
+
+    @property
+    def stats(self) -> QueryStats:
+        return self.pool.stats
+
+    # ------------------------------------------------------------------ #
+    def run(self, query: StarQuery) -> ResultSet:
+        if self.config.late_materialization:
+            return self._run_late(query)
+        return self._run_early(query)
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def _dimension_sides(self, query: StarQuery) -> Dict[str, DimensionSide]:
+        sides: Dict[str, DimensionSide] = {}
+        for dim in query.dimensions_used():
+            table = self.ctx.tables[dim]
+            sides[dim] = DimensionSide(
+                name=dim,
+                projection=self.ctx.projection(dim, self.level),
+                key_column=query.key_of(dim),
+                catalog={c.name: c for c in table.columns()},
+                contiguous_from=self.ctx.dim_key_contiguous[dim],
+                key_monotonic=self.ctx.dim_key_monotonic[dim],
+            )
+        return sides
+
+    def _decoder_for(self, table: str, column: str) -> Optional[Decoder]:
+        """None for integer columns; otherwise a raw->str decoder."""
+        catalog_column = self.ctx.catalog_column(table, column)
+        if catalog_column.dictionary is None:
+            return None
+        if self.level is CompressionLevel.NONE:
+            return lambda raw: raw.decode("ascii") if isinstance(raw, bytes) \
+                else str(raw)
+        dictionary = catalog_column.dictionary
+        return lambda raw: dictionary.value(int(raw))
+
+    def _finalize(
+        self,
+        query: StarQuery,
+        group_arrays: List[np.ndarray],
+        reduction: Tuple[np.ndarray, List],
+    ) -> ResultSet:
+        """Decode group codes, assemble rows, apply ORDER BY."""
+        from ..plan.aggregates import finalize as finalize_agg
+
+        uniq, reduced = reduction
+        columns = [g.column for g in query.group_by] + [
+            a.alias for a in query.aggregates
+        ]
+        decoders = [self._decoder_for(g.table, g.column)
+                    for g in query.group_by]
+        lookups = getattr(self, "_group_lookups", None)
+        rows: List[Row] = []
+        for gi in range(uniq.shape[1]):
+            cells: List[object] = []
+            for k, decoder in enumerate(decoders):
+                raw = uniq[k, gi]
+                if lookups is not None and lookups[k] is not None:
+                    raw = lookups[k][int(raw)]
+                if decoder is not None:
+                    self.stats.dict_lookups += 1
+                    cells.append(decoder(raw))
+                else:
+                    cells.append(int(raw))
+            for agg, (primary, secondary) in zip(query.aggregates, reduced):
+                cells.append(finalize_agg(
+                    agg.func, int(primary[gi]),
+                    None if secondary is None else int(secondary[gi])))
+            rows.append(tuple(cells))
+        return ResultSet(columns, rows).order_by(query.order_by).limited(
+            query.limit)
+
+    def _normalize_group_array(self, arr: np.ndarray
+                               ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Byte-string group arrays become factor codes + a lookup."""
+        if arr.dtype.kind == "S":
+            lookup, codes = np.unique(arr, return_inverse=True)
+            return codes.astype(np.int64), lookup
+        return arr.astype(np.int64), None
+
+    # ------------------------------------------------------------------ #
+    # late materialization
+    # ------------------------------------------------------------------ #
+    def _run_late(self, query: StarQuery) -> ResultSet:
+        fact_proj = self.ctx.best_projection(query.fact_table, self.level,
+                                             query)
+        dims = self._dimension_sides(query)
+        fact_catalog = {
+            c.name: c for c in self.ctx.tables[query.fact_table].columns()
+        }
+        join_cls = InvisibleJoin if self.config.invisible_join \
+            else LateMaterializedJoin
+        join = join_cls(self.pool, self.config, fact_proj, dims, query,
+                        self.level, fact_catalog)
+        survivors, dim_rows = join.run()
+        # kept for EXPLAIN: the join's run-time decisions
+        self.last_join = join
+        self.last_survivors = survivors.count
+
+        # aggregate inputs at surviving positions only
+        fact_arrays: Dict[str, np.ndarray] = {}
+        from ..plan.logical import expr_columns
+
+        from ..plan.aggregates import needs_expr_values
+
+        for agg in query.aggregates:
+            if not needs_expr_values(agg.func):
+                continue
+            for ref in expr_columns(agg.expr):
+                if ref.table == query.fact_table and \
+                        ref.column not in fact_arrays:
+                    colfile = fact_proj.column_file(ref.column)
+                    fact_arrays[ref.column] = fetch_values(
+                        colfile, self.pool, survivors, self.config)
+        agg_funcs = [a.func for a in query.aggregates]
+        agg_arrays = [
+            eval_fact_expr(a.expr, fact_arrays, self.stats, self.config)
+            if needs_expr_values(a.func)
+            else np.zeros(survivors.count, dtype=np.int64)
+            for a in query.aggregates
+        ]
+
+        if not query.group_by:
+            cells = scalar_aggregate(agg_arrays, self.stats, self.config,
+                                     funcs=agg_funcs)
+            columns = [a.alias for a in query.aggregates]
+            return ResultSet(columns, [tuple(cells)]).order_by(
+                query.order_by).limited(query.limit)
+
+        group_arrays: List[np.ndarray] = []
+        self._group_lookups: List[Optional[np.ndarray]] = []
+        out_of_order = not self.config.invisible_join
+        for g in query.group_by:
+            if g.table == query.fact_table:
+                raw = fetch_values(fact_proj.column_file(g.column), self.pool,
+                                   survivors, self.config)
+            else:
+                side = dims[g.table]
+                attr_values = read_column(
+                    side.projection.column_file(g.column), self.pool,
+                    self.config)
+                raw = gather_attribute(attr_values, dim_rows[g.table],
+                                       self.stats, self.config,
+                                       out_of_order=out_of_order)
+            codes, lookup = self._normalize_group_array(raw)
+            group_arrays.append(codes)
+            self._group_lookups.append(lookup)
+        result = self._finalize(
+            query, group_arrays,
+            grouped_aggregate(group_arrays, agg_arrays, self.stats,
+                              self.config, funcs=agg_funcs))
+        del self._group_lookups
+        return result
+
+    # ------------------------------------------------------------------ #
+    # early materialization
+    # ------------------------------------------------------------------ #
+    def _dimension_rows_early(self, query: StarQuery, dim: str
+                              ) -> DimensionRows:
+        """Row-style dimension preparation: read, construct, filter."""
+        proj = self.ctx.projection(dim, self.level)
+        key_col = query.key_of(dim)
+        preds = query.dimension_predicates(dim)
+        attrs = query.group_by_of(dim)
+        needed = [key_col] + [p.column for p in preds
+                              if p.column not in attrs and p.column != key_col]
+        needed += [a for a in attrs if a not in needed]
+        arrays = {
+            c: read_column(proj.column_file(c), self.pool, self.config)
+            for c in needed
+        }
+        n = proj.num_rows
+        self.stats.tuples_constructed += n
+        self.stats.tuple_attrs_copied += n * len(needed)
+        mask = np.ones(n, dtype=bool)
+        for pred in preds:
+            domain = stored_bounds(pred, self.ctx.catalog_column(
+                dim, pred.column), self.level)
+            alive = np.flatnonzero(mask)
+            verdict = _apply_row_predicate(arrays[pred.column][alive], domain,
+                                           self.stats)
+            mask[alive[~verdict]] = False
+        selector = np.flatnonzero(mask)
+        keys = arrays[key_col][selector].astype(np.int64)
+        order = np.argsort(keys)
+        self.stats.hash_inserts += len(keys)
+        return DimensionRows(
+            dimension=dim,
+            keys=keys[order],
+            attrs={a: arrays[a][selector][order] for a in attrs},
+        )
+
+    def _run_early(self, query: StarQuery) -> ResultSet:
+        fact_proj = self.ctx.projection(query.fact_table, self.level)
+        needed = query.fact_columns_needed()
+        fact_arrays = {
+            c: read_column(fact_proj.column_file(c), self.pool, self.config)
+            for c in needed
+        }
+        pred_domains = [
+            (p.column, stored_bounds(
+                p, self.ctx.catalog_column(query.fact_table, p.column),
+                self.level))
+            for p in query.fact_predicates()
+        ]
+        dims = [self._dimension_rows_early(query, d)
+                for d in query.dimensions_used()]
+        group_raw, agg_arrays, _group_dims = row_pipeline(
+            query, fact_arrays, pred_domains, dims, self.stats)
+
+        from ..plan.aggregates import (
+            finalize as finalize_agg,
+            reduce_groups,
+            reduce_scalar,
+        )
+
+        agg_funcs = [a.func for a in query.aggregates]
+        if not query.group_by:
+            cells = [
+                finalize_agg(func, *reduce_scalar(func, values))
+                for func, values in zip(agg_funcs, agg_arrays)
+            ]
+            columns = [a.alias for a in query.aggregates]
+            return ResultSet(columns, [tuple(cells)]).order_by(
+                query.order_by).limited(query.limit)
+
+        group_arrays: List[np.ndarray] = []
+        self._group_lookups = []
+        for raw in group_raw:
+            codes, lookup = self._normalize_group_array(raw)
+            group_arrays.append(codes)
+            self._group_lookups.append(lookup)
+        # consolidation itself (already paid per tuple in the pipeline)
+        matrix = np.stack(group_arrays) if group_arrays else \
+            np.zeros((0, 0), dtype=np.int64)
+        if matrix.shape[1] == 0:
+            uniq = matrix
+            reduced = [(np.zeros(0, dtype=np.int64), None)
+                       for _ in agg_arrays]
+        else:
+            uniq, inverse = np.unique(matrix, axis=1, return_inverse=True)
+            reduced = [
+                reduce_groups(func, values, inverse, uniq.shape[1])
+                for func, values in zip(agg_funcs, agg_arrays)
+            ]
+        result = self._finalize(query, group_arrays, (uniq, reduced))
+        del self._group_lookups
+        return result
+
+
+__all__ = ["ColumnPlanner", "StoreContext"]

@@ -1,0 +1,15 @@
+"""The paper's primary contribution: the invisible join, its
+between-predicate rewriting, and the ablation configuration that turns
+C-Store's optimizations off one by one (Section 6.3.2).
+"""
+
+from .config import ExecutionConfig, CONFIG_LADDER
+from .invisible_join import InvisibleJoin, DimensionFilter, JoinStrategy
+
+__all__ = [
+    "ExecutionConfig",
+    "CONFIG_LADDER",
+    "InvisibleJoin",
+    "DimensionFilter",
+    "JoinStrategy",
+]

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses are grouped by
+subsystem; they carry enough context in their message to be actionable
+without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a referenced column/table does not exist."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value or array does not match the declared column type."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (page format, heap file, column file)."""
+
+
+class PageFormatError(StorageError):
+    """A slotted page is corrupt or an offset is out of bounds."""
+
+
+class EncodingError(StorageError):
+    """A compression codec cannot encode/decode the given data."""
+
+
+class PlanError(ReproError):
+    """A logical query cannot be lowered to a physical plan."""
+
+
+class UnsupportedQueryError(PlanError):
+    """The query uses a feature the engine (or SQL subset) does not support."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed at run time."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class SqlLexError(SqlError):
+    """The SQL text contains a character sequence that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class SqlParseError(SqlError):
+    """The SQL token stream does not match the supported grammar."""
+
+
+class SqlBindError(SqlError):
+    """A SQL identifier does not resolve against the catalog."""
+
+
+class BenchmarkError(ReproError):
+    """The benchmark harness was misconfigured or a run failed."""

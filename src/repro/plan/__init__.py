@@ -1,0 +1,35 @@
+"""Logical query representation shared by every engine.
+
+The paper's workload is star-schema queries: restrict the fact table via
+predicates on dimension tables (and sometimes on fact columns), aggregate
+over the survivors, group by dimension attributes.
+:class:`~repro.plan.logical.StarQuery` captures exactly that shape; each
+engine's planner lowers it to a physical plan, and the reference engine
+evaluates it naively to produce the correctness oracle.
+"""
+
+from .logical import (
+    AggExpr,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    InSet,
+    Literal,
+    OrderKey,
+    Predicate,
+    RangePredicate,
+    StarQuery,
+)
+
+__all__ = [
+    "AggExpr",
+    "BinOp",
+    "ColumnRef",
+    "Comparison",
+    "InSet",
+    "Literal",
+    "OrderKey",
+    "Predicate",
+    "RangePredicate",
+    "StarQuery",
+]

@@ -1,0 +1,14 @@
+"""The reference engine: a naive, obviously-correct StarQuery evaluator.
+
+This is the correctness oracle.  It shares no executor code with the
+row-store or column-store engines (only the in-memory ``Table`` container
+and the IR), evaluates queries with straightforward vectorized numpy over
+decoded values, and performs no I/O and no cost accounting.  Every
+engine x design x configuration in the test suite must match its output
+exactly.
+"""
+
+from .engine import execute, selected_positions
+from .predicates import eval_predicate
+
+__all__ = ["execute", "selected_positions", "eval_predicate"]

@@ -1,0 +1,28 @@
+"""The row-store engine ("System X" in the paper).
+
+A single-threaded, disk-based row store with:
+
+* heap files of headered fixed-width tuples (:mod:`repro.storage.heapfile`);
+* unclustered B+Tree indexes with optional composite keys
+  (:mod:`repro.rowstore.btree`);
+* bitmap indexes stored as compressed rid lists
+  (:mod:`repro.rowstore.bitmap_index`);
+* a Volcano-style executor (:mod:`repro.rowstore.operators`) whose ledger
+  charges tuple-at-a-time interpretation costs — one iterator call and
+  1-2 attribute extractions per tuple per operator, as Section 5.3
+  describes for row stores;
+* the paper's five physical designs (:mod:`repro.rowstore.designs`):
+  traditional, traditional(bitmap), vertical partitioning, index-only,
+  and per-flight materialized views, with orderdate-year partitioning.
+
+Implementation note: operators move numpy record batches for wall-clock
+speed, but the ledger records the work a tuple-at-a-time engine performs
+— per-tuple iterator calls, per-tuple attribute extractions, per-tuple
+hash probes.  The simulated cost therefore reflects the modeled engine,
+not the Python vehicle (see DESIGN.md, "Substitutions").
+"""
+
+from .engine import SystemX, RowStoreRun
+from .designs import DesignKind
+
+__all__ = ["SystemX", "RowStoreRun", "DesignKind"]

@@ -1,0 +1,224 @@
+"""The paper's five row-store physical designs (Section 4 / 6.2).
+
+Each design builds real on-disk structures from the generated SSB data:
+
+* ``TRADITIONAL`` — one heap file per relation, the fact table partitioned
+  by orderdate year.
+* ``TRADITIONAL_BITMAP`` — traditional, plus bitmap indexes on the fact
+  foreign keys and restricted measure columns; plans are biased to use
+  them.
+* ``MATERIALIZED_VIEWS`` — per query flight, a heap file holding exactly
+  the fact columns that flight needs (no pre-joining), partitioned by
+  year.
+* ``VERTICAL_PARTITIONING`` — one two-column (position, value) heap file
+  per fact column, each row paying the tuple header and the position —
+  the 16-bytes-per-value overhead of Section 6.2.
+* ``INDEX_ONLY`` — unclustered B+Trees on every column of every table;
+  dimension-attribute indexes carry the dimension primary key as a
+  composite secondary key (the paper's (age, salary) optimization).
+
+Dimension tables are stored as traditional heap files in every design
+(the paper's plans always scan or index the small dimensions directly).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..simio.disk import SimulatedDisk
+from ..ssb.generator import SsbData
+from ..ssb.queries import ALL_QUERIES, FLIGHT_OF
+from ..storage.column import Column
+from ..storage.heapfile import HeapFile
+from ..storage.table import Table
+from ..types import int32
+from .bitmap_index import BitmapIndex
+from .btree import BPlusTree
+from .partitioning import partition_by_year
+
+
+class DesignKind(enum.Enum):
+    """Physical design identifiers, with the paper's figure labels."""
+
+    TRADITIONAL = "T"
+    TRADITIONAL_BITMAP = "T(B)"
+    MATERIALIZED_VIEWS = "MV"
+    VERTICAL_PARTITIONING = "VP"
+    INDEX_ONLY = "AI"
+
+
+#: Fact columns carrying a bitmap index in the T(B) design.
+BITMAPPED_FACT_COLUMNS: Tuple[str, ...] = (
+    "custkey", "suppkey", "partkey", "orderdate", "quantity", "discount",
+)
+
+
+@dataclass
+class Artifacts:
+    """Everything one design materialized on disk."""
+
+    #: table -> heap file (dimensions; and the fact for designs that keep it)
+    heaps: Dict[str, HeapFile] = field(default_factory=dict)
+    #: fact partitions: year -> heap file
+    fact_partitions: Dict[int, HeapFile] = field(default_factory=dict)
+    #: flight number -> (year -> heap file) for materialized views
+    mv_partitions: Dict[int, Dict[int, HeapFile]] = field(default_factory=dict)
+    #: flight number -> MV column list
+    mv_columns: Dict[int, List[str]] = field(default_factory=dict)
+    #: fact column -> two-column heap file (vertical partitioning)
+    vp_heaps: Dict[str, HeapFile] = field(default_factory=dict)
+    #: fact column -> header-free single-column heap ("super tuples")
+    vp_super_heaps: Dict[str, HeapFile] = field(default_factory=dict)
+    #: (table, column) -> B+Tree (index-only design)
+    btrees: Dict[Tuple[str, str], BPlusTree] = field(default_factory=dict)
+    #: fact column -> bitmap index (T(B) design)
+    bitmaps: Dict[str, BitmapIndex] = field(default_factory=dict)
+
+    def total_bytes(self) -> int:
+        total = sum(h.size_bytes for h in self.heaps.values())
+        total += sum(h.size_bytes for h in self.fact_partitions.values())
+        for parts in self.mv_partitions.values():
+            total += sum(h.size_bytes for h in parts.values())
+        total += sum(h.size_bytes for h in self.vp_heaps.values())
+        total += sum(h.size_bytes for h in self.vp_super_heaps.values())
+        total += sum(t.size_bytes for t in self.btrees.values())
+        total += sum(b.size_bytes for b in self.bitmaps.values())
+        return total
+
+
+def mv_columns_for_flight(flight: int) -> List[str]:
+    """Fact columns a flight's materialized view must carry."""
+    columns: List[str] = []
+    for q in ALL_QUERIES:
+        if FLIGHT_OF[q.name] != flight:
+            continue
+        for c in q.fact_columns_needed():
+            if c not in columns:
+                columns.append(c)
+    if not columns:
+        raise PlanError(f"no queries in flight {flight}")
+    return columns
+
+
+class DesignBuilder:
+    """Materializes design artifacts onto a simulated disk."""
+
+    def __init__(self, disk: SimulatedDisk, data: SsbData) -> None:
+        self.disk = disk
+        self.data = data
+
+    # ------------------------------------------------------------------ #
+    def build_dimensions(self, artifacts: Artifacts) -> None:
+        for name, table in self.data.dimensions().items():
+            if name not in artifacts.heaps:
+                artifacts.heaps[name] = HeapFile.load(self.disk, f"heap.{name}",
+                                                      table)
+
+    def build_traditional(self, artifacts: Artifacts) -> None:
+        """Fact heap partitioned by orderdate year."""
+        if artifacts.fact_partitions:
+            return
+        for year, part in partition_by_year(self.data.lineorder).items():
+            artifacts.fact_partitions[year] = HeapFile.load(
+                self.disk, f"heap.lineorder.y{year}", part)
+
+    def build_fact_unpartitioned(self, artifacts: Artifacts) -> None:
+        """One whole-fact heap (bitmap plans address rids globally)."""
+        if "lineorder" not in artifacts.heaps:
+            artifacts.heaps["lineorder"] = HeapFile.load(
+                self.disk, "heap.lineorder", self.data.lineorder)
+
+    def build_bitmaps(self, artifacts: Artifacts) -> None:
+        self.build_fact_unpartitioned(artifacts)
+        fact = self.data.lineorder
+        for column in BITMAPPED_FACT_COLUMNS:
+            if column in artifacts.bitmaps:
+                continue
+            artifacts.bitmaps[column] = BitmapIndex.build(
+                self.disk, f"bmp.lineorder.{column}",
+                fact.column(column).data)
+
+    def build_materialized_views(self, artifacts: Artifacts) -> None:
+        for flight in sorted({FLIGHT_OF[q.name] for q in ALL_QUERIES}):
+            if flight in artifacts.mv_partitions:
+                continue
+            columns = mv_columns_for_flight(flight)
+            artifacts.mv_columns[flight] = columns
+            view = self.data.lineorder.project(columns,
+                                               new_name=f"mv_f{flight}")
+            partitions: Dict[int, HeapFile] = {}
+            for year, part in partition_by_year(view).items():
+                partitions[year] = HeapFile.load(
+                    self.disk, f"heap.mv_f{flight}.y{year}", part)
+            artifacts.mv_partitions[flight] = partitions
+
+    def build_vertical_partitions(self, artifacts: Artifacts) -> None:
+        """One (position, value) heap per fact column."""
+        fact = self.data.lineorder
+        positions = np.arange(fact.num_rows, dtype=np.int32)
+        pos_col_type = int32()
+        for column in fact.columns():
+            if column.name in artifacts.vp_heaps:
+                continue
+            two_col = Table(
+                f"vp_{column.name}",
+                [
+                    Column.from_ints("pos", positions, pos_col_type),
+                    column,
+                ],
+            )
+            artifacts.vp_heaps[column.name] = HeapFile.load(
+                self.disk, f"heap.vp.{column.name}", two_col)
+
+    def build_super_vertical_partitions(self, artifacts: Artifacts) -> None:
+        """Header-free, position-implicit vertical partitions — the
+        "super tuple" proposal of Halverson et al. and the storage
+        improvements this paper's conclusion says a row store would
+        need: virtual record-ids, reduced tuple overhead, guaranteed
+        position order."""
+        fact = self.data.lineorder
+        for column in fact.columns():
+            if column.name in artifacts.vp_super_heaps:
+                continue
+            one_col = Table(f"svp_{column.name}", [column])
+            artifacts.vp_super_heaps[column.name] = HeapFile.load(
+                self.disk, f"heap.svp.{column.name}", one_col,
+                header_bytes=0)
+
+    def build_indexes(self, artifacts: Artifacts) -> None:
+        """B+Trees on every column of every table (index-only design)."""
+        fact = self.data.lineorder
+        rids = np.arange(fact.num_rows, dtype=np.int32)
+        for column in fact.columns():
+            key = ("lineorder", column.name)
+            if key not in artifacts.btrees:
+                artifacts.btrees[key] = BPlusTree.build(
+                    self.disk, f"idx.lineorder.{column.name}",
+                    column.data.astype(np.int64), rids)
+        for name, dim in self.data.dimensions().items():
+            key_column = dim.columns()[0].name  # primary key is first
+            dim_keys = dim.column(key_column).data
+            dim_rids = np.arange(dim.num_rows, dtype=np.int32)
+            for column in dim.columns():
+                key = (name, column.name)
+                if key in artifacts.btrees:
+                    continue
+                secondary = None if column.name == key_column else dim_keys
+                artifacts.btrees[key] = BPlusTree.build(
+                    self.disk, f"idx.{name}.{column.name}",
+                    column.data.astype(np.int64), dim_rids,
+                    secondary=secondary)
+
+
+__all__ = [
+    "DesignKind",
+    "Artifacts",
+    "DesignBuilder",
+    "mv_columns_for_flight",
+    "BITMAPPED_FACT_COLUMNS",
+]

@@ -1,0 +1,186 @@
+"""The System X facade: build designs once, execute queries against them.
+
+:class:`SystemX` owns a simulated disk, a buffer pool, and the artifacts
+of whichever physical designs were requested.  Resource sizes scale with
+the data's scale factor so that the paper's 500 MB buffer pool and 1.5 GB
+sort/join memory (configured for SF 10) keep their *relative* size: a run
+at SF 0.05 gets 0.5 % of each, preserving spill and caching behaviour.
+
+``execute`` isolates each query on a fresh ledger and converts the
+measured counts to simulated seconds with the shared
+:class:`~repro.simio.stats.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import PlanError
+from ..plan.logical import StarQuery
+from ..result import ResultSet
+from ..simio.buffer_pool import BufferPool
+from ..simio.disk import SimulatedDisk
+from ..simio.stats import CostBreakdown, CostModel, QueryStats
+from ..simio.stats import PAPER_2008
+from ..ssb.generator import SsbData
+from .designs import Artifacts, DesignBuilder, DesignKind
+from .operators import SpillAccountant
+from .planner import RowPlanner
+from .statistics import CatalogStatistics
+
+#: Paper configuration at SF 10 (Section 6.2), scaled by sf/10 at runtime.
+PAPER_BUFFER_POOL_BYTES = 500 * 1024 * 1024
+PAPER_JOIN_MEMORY_BYTES = 3 * 512 * 1024 * 1024  # "1.5 GB maximum memory"
+PAPER_SCALE_FACTOR = 10.0
+MIN_POOL_BYTES = 8 * 32 * 1024
+
+
+@dataclass
+class RowStoreRun:
+    """Outcome of one query execution."""
+
+    result: ResultSet
+    stats: QueryStats
+    cost: CostBreakdown
+
+    @property
+    def seconds(self) -> float:
+        """Simulated seconds on the paper's hardware."""
+        return self.cost.total_seconds
+
+
+class SystemX:
+    """A commercial-style row store over the simulated disk.
+
+    Parameters
+    ----------
+    data:
+        The generated SSB database.
+    designs:
+        Which physical designs to materialize (each costs load time and
+        simulated disk space); defaults to all five.
+    cost_model:
+        Converts measured work into simulated seconds.
+    buffer_pool_bytes / join_memory_bytes:
+        Override the sf-scaled defaults (mostly for ablation benches).
+    """
+
+    def __init__(
+        self,
+        data: SsbData,
+        designs: Optional[Sequence[DesignKind]] = None,
+        cost_model: CostModel = PAPER_2008,
+        buffer_pool_bytes: Optional[int] = None,
+        join_memory_bytes: Optional[int] = None,
+    ) -> None:
+        self.data = data
+        self.cost_model = cost_model
+        scale = data.scale_factor / PAPER_SCALE_FACTOR
+        if buffer_pool_bytes is None:
+            buffer_pool_bytes = max(MIN_POOL_BYTES,
+                                    int(PAPER_BUFFER_POOL_BYTES * scale))
+        if join_memory_bytes is None:
+            join_memory_bytes = max(MIN_POOL_BYTES,
+                                    int(PAPER_JOIN_MEMORY_BYTES * scale))
+        self.disk = SimulatedDisk()
+        self.pool = BufferPool(self.disk, buffer_pool_bytes)
+        self.join_memory_bytes = join_memory_bytes
+        # ANALYZE at load time: the planner orders joins from these
+        self.statistics = CatalogStatistics(data.tables)
+        self.artifacts = Artifacts()
+        self._built: set = set()
+        builder = DesignBuilder(self.disk, data)
+        builder.build_dimensions(self.artifacts)
+        for design in (designs if designs is not None else list(DesignKind)):
+            self.add_design(design)
+
+    def add_design(self, design: DesignKind) -> None:
+        """Materialize one design's artifacts (idempotent)."""
+        if design in self._built:
+            return
+        builder = DesignBuilder(self.disk, self.data)
+        if design in (DesignKind.TRADITIONAL, DesignKind.TRADITIONAL_BITMAP):
+            builder.build_traditional(self.artifacts)
+        if design is DesignKind.TRADITIONAL_BITMAP:
+            builder.build_bitmaps(self.artifacts)
+        if design is DesignKind.MATERIALIZED_VIEWS:
+            builder.build_materialized_views(self.artifacts)
+        if design is DesignKind.VERTICAL_PARTITIONING:
+            builder.build_vertical_partitions(self.artifacts)
+        if design is DesignKind.INDEX_ONLY:
+            builder.build_indexes(self.artifacts)
+        self._built.add(design)
+
+    @property
+    def designs(self) -> List[DesignKind]:
+        return sorted(self._built, key=lambda d: d.value)
+
+    def execute(
+        self,
+        query: StarQuery,
+        design: DesignKind,
+        prune_partitions: bool = True,
+        vp_join: str = "hash",
+        vp_super_tuples: bool = False,
+        cold_pool: bool = True,
+    ) -> RowStoreRun:
+        """Run ``query`` under ``design`` on a fresh ledger.
+
+        ``vp_join`` applies to the vertical-partitioning design only:
+        ``"hash"`` (System X's actual behaviour) or ``"merge"`` (the
+        sort-free merge join the paper says System X could not be coaxed
+        into, Section 6.2.2).  ``vp_super_tuples=True`` stores the
+        vertical partitions as header-free, position-implicit "super
+        tuples" scanned block-at-a-time — the storage/executor
+        improvements the paper's conclusion lists (built lazily on first
+        use).  ``cold_pool=False`` keeps whatever the buffer pool holds
+        from previous runs — the paper's warm-pool measurement protocol
+        (Section 6.1)."""
+        if design not in self._built:
+            raise PlanError(
+                f"design {design.value} was not built; available: "
+                f"{[d.value for d in self.designs]}"
+            )
+        if vp_super_tuples and not self.artifacts.vp_super_heaps:
+            DesignBuilder(self.disk, self.data) \
+                .build_super_vertical_partitions(self.artifacts)
+        stats = QueryStats()
+        self.disk.stats = stats
+        # default: start from a cold pool so measurements are
+        # order-independent (the pool is 0.5% of the data, mirroring the
+        # paper's 500 MB at SF 10, so warmth barely shifts results)
+        if cold_pool:
+            self.pool.clear()
+        else:
+            self.disk.reset_head()
+        spill = SpillAccountant(self.disk, self.join_memory_bytes)
+        planner = RowPlanner(self.pool, self.artifacts, self.data, spill,
+                             statistics=self.statistics)
+        result = planner.run(query, design,
+                             prune_partitions=prune_partitions,
+                             vp_join=vp_join,
+                             vp_super_tuples=vp_super_tuples)
+        return RowStoreRun(result, stats, self.cost_model.cost(stats))
+
+    def storage_bytes(self) -> int:
+        """Total simulated disk occupied by all built artifacts."""
+        return self.disk.total_bytes
+
+    def explain(self, query: StarQuery, design: DesignKind,
+                prune_partitions: bool = True) -> str:
+        """Describe the plan ``design`` would execute for ``query``
+        (Section 6.2.1's plan shapes), without perturbing any ledger."""
+        from .explain import explain as _explain
+
+        if design not in self._built:
+            raise PlanError(
+                f"design {design.value} was not built; available: "
+                f"{[d.value for d in self.designs]}"
+            )
+        return _explain(self.data, self.artifacts, query, design,
+                        prune_partitions=prune_partitions)
+
+
+__all__ = ["SystemX", "RowStoreRun", "PAPER_BUFFER_POOL_BYTES",
+           "PAPER_JOIN_MEMORY_BYTES"]

@@ -1,0 +1,194 @@
+"""An interactive SQL shell over both engines.
+
+Run::
+
+    python -m repro.shell [--sf 0.02]
+
+Type SQL in the SSB dialect (or an SSB query name like ``Q3.1``) and the
+shell executes it on the selected engine(s), printing results and the
+simulated cost on the paper's 2008 hardware.  Backslash commands switch
+engines, designs, and configurations, and ``\\explain`` shows plans.
+
+The :class:`Shell` class separates command handling from terminal I/O so
+the whole surface is unit-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List, Optional
+
+from .colstore.engine import CStore
+from .core.config import CONFIG_LADDER, ExecutionConfig
+from .errors import ReproError
+from .plan.logical import StarQuery
+from .reference import execute as reference_execute
+from .rowstore.designs import DesignKind
+from .rowstore.engine import SystemX
+from .sql import parse_query
+from .ssb.generator import generate
+from .ssb.queries import ALL_QUERIES, query_by_name
+from .ssb.sql_text import SQL_TEXT
+
+HELP = """\
+Enter SQL (SSB dialect), an SSB query name (Q1.1 .. Q4.3), or a command:
+  \\help                this help
+  \\queries             list the 13 SSB queries
+  \\sql Qx.y            show an SSB query's SQL text
+  \\engine cs|rs|both   which engine(s) run queries (default: both)
+  \\design T|T(B)|MV|VP|AI   row-store physical design (default: T)
+  \\config tICL..Ticl   column-store configuration (default: tICL)
+  \\explain <query>     show both engines' plans for SQL or Qx.y
+  \\verify on|off       cross-check results against the oracle
+  \\quit                exit"""
+
+_DESIGNS = {d.value: d for d in DesignKind}
+
+
+class Shell:
+    """Shell state + command dispatch (I/O-free; returns strings)."""
+
+    def __init__(self, scale_factor: float = 0.02) -> None:
+        self.data = generate(scale_factor)
+        self.cstore = CStore(self.data)
+        self.system_x = SystemX(self.data, designs=[DesignKind.TRADITIONAL])
+        self.engine_mode = "both"
+        self.design = DesignKind.TRADITIONAL
+        self.config = ExecutionConfig.baseline()
+        self.verify = True
+        self.done = False
+
+    # ------------------------------------------------------------------ #
+    def handle(self, line: str) -> str:
+        """Process one input line and return the text to display."""
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("\\"):
+                return self._command(line)
+            return self._run(self._to_query(line))
+        except ReproError as error:
+            return f"error: {error}"
+
+    # ------------------------------------------------------------------ #
+    def _to_query(self, text: str) -> StarQuery:
+        name = text.rstrip(";").strip()
+        if name.upper().startswith("Q") and name.upper() in SQL_TEXT:
+            return query_by_name(name.upper())
+        return parse_query(text, name="adhoc")
+
+    def _command(self, line: str) -> str:
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in ("\\q", "\\quit", "\\exit"):
+            self.done = True
+            return "bye"
+        if command == "\\help":
+            return HELP
+        if command == "\\queries":
+            return "\n".join(
+                f"  {q.name}: {len(q.predicates)} predicate(s), "
+                f"{len(q.group_by)} group column(s)"
+                for q in ALL_QUERIES)
+        if command == "\\sql":
+            name = argument.upper()
+            if name not in SQL_TEXT:
+                return f"error: unknown SSB query {argument!r}"
+            return SQL_TEXT[name].strip()
+        if command == "\\engine":
+            if argument not in ("cs", "rs", "both"):
+                return "error: \\engine takes cs, rs, or both"
+            self.engine_mode = argument
+            return f"engine set to {argument}"
+        if command == "\\design":
+            design = _DESIGNS.get(argument.upper().replace("(B)", "(B)"))
+            if design is None:
+                design = _DESIGNS.get(argument)
+            if design is None:
+                return ("error: \\design takes one of "
+                        + ", ".join(sorted(_DESIGNS)))
+            self.system_x.add_design(design)
+            self.design = design
+            return f"row-store design set to {design.value}"
+        if command == "\\config":
+            try:
+                self.config = ExecutionConfig.from_label(argument)
+            except ReproError:
+                return ("error: \\config takes a four-letter code like "
+                        + ", ".join(c.label for c in CONFIG_LADDER))
+            return f"column-store config set to {self.config.label}"
+        if command == "\\verify":
+            if argument not in ("on", "off"):
+                return "error: \\verify takes on or off"
+            self.verify = argument == "on"
+            return f"verification {argument}"
+        if command == "\\explain":
+            query = self._to_query(argument)
+            return (self.cstore.explain(query, self.config) + "\n\n"
+                    + self.system_x.explain(query, self.design))
+        return f"error: unknown command {command!r} (try \\help)"
+
+    def _run(self, query: StarQuery) -> str:
+        lines: List[str] = []
+        oracle = (reference_execute(self.data.tables, query)
+                  if self.verify else None)
+        shown = False
+        if self.engine_mode in ("cs", "both"):
+            run = self.cstore.execute(query, self.config)
+            if oracle is not None and not run.result.same_rows(oracle):
+                return "INTERNAL ERROR: column store deviates from oracle"
+            lines.append(run.result.pretty(limit=15))
+            shown = True
+            lines.append(
+                f"column store [{self.config.label}]: "
+                f"{run.seconds * 1000:8.2f} ms simulated "
+                f"({len(run.result)} rows)")
+        if self.engine_mode in ("rs", "both"):
+            run = self.system_x.execute(query, self.design)
+            if oracle is not None and not run.result.same_rows(oracle):
+                return "INTERNAL ERROR: row store deviates from oracle"
+            if not shown:
+                lines.append(run.result.pretty(limit=15))
+            lines.append(
+                f"row store [{self.design.value}]:    "
+                f"{run.seconds * 1000:8.2f} ms simulated "
+                f"({len(run.result)} rows)")
+        return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.shell")
+    parser.add_argument("--sf", type=float, default=0.02,
+                        help="scale factor (default 0.02)")
+    args = parser.parse_args(argv)
+    print(f"repro shell — SSB at scale factor {args.sf}; \\help for help")
+    print("loading engines ...")
+    shell = Shell(scale_factor=args.sf)
+    buffer: List[str] = []
+    while not shell.done:
+        try:
+            prompt = "repro> " if not buffer else "   ... "
+            line = input(prompt)
+        except EOFError:
+            print()
+            break
+        # SQL may span lines; commands and query names never do
+        if buffer or (line.strip() and not line.startswith("\\")
+                      and not line.strip().rstrip(";").upper() in SQL_TEXT
+                      and not line.strip().endswith(";")):
+            buffer.append(line)
+            if not line.strip().endswith(";"):
+                continue
+            line = "\n".join(buffer)
+            buffer = []
+        output = shell.handle(line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Simulated storage substrate: disk, buffer pool, and cost accounting.
+
+The paper measures wall-clock seconds on 2008 hardware (a 4-disk striped
+array at 160-200 MB/s aggregate, 32 KB pages, a 500 MB buffer pool).  This
+package provides the equivalent substrate for the reproduction:
+
+* :class:`~repro.simio.disk.SimulatedDisk` stores page images and accounts
+  every read (bytes, seeks, sequential vs. random).
+* :class:`~repro.simio.buffer_pool.BufferPool` is an LRU page cache layered
+  on the disk, so "warm buffer pool" experiments behave as in Section 6.
+* :class:`~repro.simio.stats.QueryStats` is the single ledger of observed
+  work (bytes read, iterator calls, hash probes, tuple constructions, ...),
+  and :class:`~repro.simio.stats.CostModel` converts those measured counts
+  into simulated seconds on the paper's hardware.
+"""
+
+from .stats import QueryStats, CostModel, CostBreakdown
+from .disk import SimulatedDisk, PAGE_SIZE
+from .buffer_pool import BufferPool
+
+__all__ = [
+    "QueryStats",
+    "CostModel",
+    "CostBreakdown",
+    "SimulatedDisk",
+    "BufferPool",
+    "PAGE_SIZE",
+]

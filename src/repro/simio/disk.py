@@ -1,0 +1,143 @@
+"""A simulated disk that stores real page images and accounts every read.
+
+The disk is a dictionary of named files, each an append-only list of page
+byte strings (pages are 32 KB, matching the paper's System X configuration).
+Reads return the actual stored bytes — storage formats above this layer
+round-trip real data — while the disk charges the active
+:class:`~repro.simio.stats.QueryStats` ledger for bytes transferred and for
+seeks whenever an access is not sequential with the previous access to the
+same device.
+
+The accounting model mirrors a striped 4-disk volume treated as one logical
+device: sequential runs are charged pure transfer time; every discontinuity
+costs one seek.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import StorageError
+from .stats import QueryStats
+
+#: Page size used throughout (the paper's System X uses 32 KB pages).
+PAGE_SIZE = 32 * 1024
+
+
+class DiskFile:
+    """One named file on the simulated disk: an append-only page list."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.pages: List[bytes] = []
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def size_bytes(self) -> int:
+        """Occupied size: whole pages are charged even if partly filled."""
+        return len(self.pages) * PAGE_SIZE
+
+
+class SimulatedDisk:
+    """Named page files plus an I/O ledger.
+
+    The ``stats`` attribute is the active ledger; the benchmark harness
+    swaps in a fresh :class:`QueryStats` before each measured query so
+    per-query I/O is isolated.
+    """
+
+    def __init__(self, stats: Optional[QueryStats] = None) -> None:
+        self.stats = stats if stats is not None else QueryStats()
+        self._files: Dict[str, DiskFile] = {}
+        # (file name, page number) of the most recent physical access, used
+        # to decide whether the next access is sequential.
+        self._head: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # file management
+    # ------------------------------------------------------------------ #
+    def create(self, name: str) -> DiskFile:
+        """Create an empty file; error if it already exists."""
+        if name in self._files:
+            raise StorageError(f"file {name!r} already exists")
+        f = DiskFile(name)
+        self._files[name] = f
+        return f
+
+    def drop(self, name: str) -> None:
+        """Remove a file (used when rebuilding physical designs)."""
+        self._files.pop(name, None)
+
+    def file(self, name: str) -> DiskFile:
+        """Look up a file; raise :class:`StorageError` if absent."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no file named {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def files(self) -> List[str]:
+        """Names of all files, sorted for reproducibility."""
+        return sorted(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total occupied bytes across all files."""
+        return sum(f.size_bytes for f in self._files.values())
+
+    # ------------------------------------------------------------------ #
+    # page I/O
+    # ------------------------------------------------------------------ #
+    def append_page(self, name: str, payload: bytes) -> int:
+        """Append a page to ``name`` and return its page number.
+
+        The payload must fit in one page; short payloads occupy (and are
+        charged as) a full page, like any block device.
+        """
+        if len(payload) > PAGE_SIZE:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds page size {PAGE_SIZE}"
+            )
+        f = self.file(name)
+        f.pages.append(payload)
+        self.stats.bytes_written += PAGE_SIZE
+        return f.num_pages - 1
+
+    def read_page(self, name: str, page_no: int) -> bytes:
+        """Read one page, charging transfer bytes and a seek if random."""
+        f = self.file(name)
+        if not 0 <= page_no < f.num_pages:
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({f.num_pages} pages)"
+            )
+        self._charge(name, page_no)
+        return f.pages[page_no]
+
+    def scan_pages(
+        self, name: str, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[bytes]:
+        """Yield pages ``start..stop`` sequentially (one seek total)."""
+        f = self.file(name)
+        end = f.num_pages if stop is None else min(stop, f.num_pages)
+        for page_no in range(start, end):
+            self._charge(name, page_no)
+            yield f.pages[page_no]
+
+    def _charge(self, name: str, page_no: int) -> None:
+        if self._head != (name, page_no):
+            self.stats.seeks += 1
+        self.stats.bytes_read += PAGE_SIZE
+        self.stats.pages_read += 1
+        self._head = (name, page_no + 1)
+
+    def reset_head(self) -> None:
+        """Forget head position (e.g. between queries)."""
+        self._head = None
+
+
+__all__ = ["SimulatedDisk", "DiskFile", "PAGE_SIZE"]

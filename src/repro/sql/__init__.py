@@ -1,0 +1,20 @@
+"""A SQL frontend for the SSB dialect.
+
+Parses the subset of SQL the Star Schema Benchmark uses — single
+SELECT, inner joins expressed as WHERE equalities, conjunctive
+predicates (comparison / BETWEEN / IN), SUM aggregates over arithmetic
+expressions, GROUP BY and ORDER BY — and binds it against the SSB
+catalog into the same :class:`~repro.plan.logical.StarQuery` IR the
+hand-built queries use.  Tests assert that parsing the paper's SQL text
+yields exactly the hand-built IR, so the two encodings validate each
+other.
+
+>>> from repro.sql import parse_query
+>>> q = parse_query("SELECT sum(lo.revenue) AS revenue FROM lineorder AS lo")
+"""
+
+from .parser import parse
+from .binder import bind, parse_query
+from .render import render
+
+__all__ = ["parse", "bind", "parse_query", "render"]

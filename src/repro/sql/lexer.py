@@ -1,0 +1,111 @@
+"""Tokenizer for the SSB SQL subset.
+
+Hand-rolled single-pass scanner.  Keywords are case-insensitive and
+reported upper-case; identifiers preserve case; string literals use
+single quotes with ``''`` as the escape; numbers are integers (the SSB
+dialect needs nothing else).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SqlLexError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AS", "AND",
+    "BETWEEN", "IN", "SUM", "COUNT", "MIN", "MAX", "AVG", "ASC", "DESC",
+    "OR", "NOT", "LIMIT",
+}
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == symbol
+
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".",
+            "*", "+", "-", ";")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`SqlLexError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SqlLexError("unterminated string literal", i)
+                if text[j] == "'":
+                    if text[j:j + 2] == "''":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenKind.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlLexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+__all__ = ["tokenize", "Token", "TokenKind", "KEYWORDS"]

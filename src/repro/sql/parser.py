@@ -1,0 +1,278 @@
+"""Recursive-descent parser for the SSB SQL subset.
+
+Grammar (conjunctive WHERE only — the whole benchmark needs nothing
+more; OR/NOT are lexed so they produce a clear error rather than a
+confusing one):
+
+    select     := SELECT item (',' item)*
+                  FROM table_ref (',' table_ref)*
+                  [WHERE condition (AND condition)*]
+                  [GROUP BY ident (',' ident)*]
+                  [ORDER BY order_key (',' order_key)*]
+                  [LIMIT number] [';']
+    item       := (SUM|COUNT|MIN|MAX|AVG) '(' (expr|'*') ')' [AS ident]
+                | expr [AS ident]
+    expr       := term (('+'|'-') term)*
+    term       := factor ('*' factor)*
+    factor     := literal | qualified_ident | '(' expr ')'
+    condition  := operand BETWEEN literal AND literal
+                | operand IN '(' literal (',' literal)* ')'
+                | operand ('='|'<'|'<='|'>'|'>=') operand
+    order_key  := ident [ASC|DESC]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SqlParseError
+from . import ast
+from .lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+    # ------------------------------------------------------------------ #
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise SqlParseError(
+                f"expected {word}, got {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return token
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.advance()
+        if not token.is_symbol(symbol):
+            raise SqlParseError(
+                f"expected {symbol!r}, got {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.peek().is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # grammar
+    # ------------------------------------------------------------------ #
+    def parse_select(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        items = [self.parse_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_item())
+        self.expect_keyword("FROM")
+        tables = [self.parse_table_ref()]
+        while self.accept_symbol(","):
+            tables.append(self.parse_table_ref())
+        conditions: List[ast.Condition] = []
+        if self.accept_keyword("WHERE"):
+            conditions.append(self.parse_condition())
+            while True:
+                if self.accept_keyword("AND"):
+                    conditions.append(self.parse_condition())
+                    continue
+                if self.peek().is_keyword("OR") or self.peek().is_keyword(
+                        "NOT"):
+                    raise SqlParseError(
+                        "only conjunctive (AND) predicates are supported"
+                    )
+                break
+        group_by: List[ast.Ident] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_qualified_ident())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_qualified_ident())
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_key())
+            while self.accept_symbol(","):
+                order_by.append(self.parse_order_key())
+        limit: Optional[int] = None
+        if self.accept_keyword("LIMIT"):
+            number = self.advance()
+            if number.kind is not TokenKind.NUMBER:
+                raise SqlParseError(
+                    f"expected a number after LIMIT, got {number.text!r}"
+                )
+            limit = int(number.text)
+        self.accept_symbol(";")
+        tail = self.peek()
+        if tail.kind is not TokenKind.EOF:
+            raise SqlParseError(
+                f"unexpected trailing input {tail.text!r} at offset "
+                f"{tail.position}"
+            )
+        return ast.SelectStatement(
+            items=tuple(items),
+            tables=tuple(tables),
+            conditions=tuple(conditions),
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def parse_item(self) -> ast.SelectItem:
+        token = self.peek()
+        aggregate: Optional[str] = None
+        if token.kind is TokenKind.KEYWORD and token.text in (
+                "SUM", "COUNT", "MIN", "MAX", "AVG"):
+            aggregate = self.advance().text.lower()
+            self.expect_symbol("(")
+            if aggregate == "count" and self.accept_symbol("*"):
+                expr = ast.NumberLit(1)  # COUNT(*) counts rows
+            else:
+                expr = self.parse_expr()
+            self.expect_symbol(")")
+        else:
+            expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias_token = self.advance()
+            if alias_token.kind is not TokenKind.IDENT:
+                raise SqlParseError(
+                    f"expected alias after AS, got {alias_token.text!r}"
+                )
+            alias = alias_token.text
+        return ast.SelectItem(expr, aggregate, alias)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.advance()
+        if name.kind is not TokenKind.IDENT:
+            raise SqlParseError(f"expected table name, got {name.text!r}")
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias_token = self.advance()
+            if alias_token.kind is not TokenKind.IDENT:
+                raise SqlParseError(
+                    f"expected alias after AS, got {alias_token.text!r}"
+                )
+            alias = alias_token.text
+        elif self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().text
+        return ast.TableRef(name.text, alias)
+
+    def parse_expr(self) -> ast.SqlExpr:
+        left = self.parse_term()
+        while self.peek().is_symbol("+") or self.peek().is_symbol("-"):
+            op = self.advance().text
+            right = self.parse_term()
+            left = ast.Arith(op, left, right)
+        return left
+
+    def parse_term(self) -> ast.SqlExpr:
+        left = self.parse_factor()
+        while self.peek().is_symbol("*"):
+            self.advance()
+            right = self.parse_factor()
+            left = ast.Arith("*", left, right)
+        return left
+
+    def parse_factor(self) -> ast.SqlExpr:
+        token = self.peek()
+        if token.is_symbol("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.NumberLit(int(token.text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.StringLit(token.text)
+        if token.kind is TokenKind.IDENT:
+            return self.parse_qualified_ident()
+        raise SqlParseError(
+            f"expected expression, got {token.text!r} at offset "
+            f"{token.position}"
+        )
+
+    def parse_qualified_ident(self) -> ast.Ident:
+        first = self.advance()
+        if first.kind is not TokenKind.IDENT:
+            raise SqlParseError(
+                f"expected identifier, got {first.text!r} at offset "
+                f"{first.position}"
+            )
+        if self.accept_symbol("."):
+            second = self.advance()
+            if second.kind is not TokenKind.IDENT:
+                raise SqlParseError(
+                    f"expected identifier after '.', got {second.text!r}"
+                )
+            return ast.Ident(first.text, second.text)
+        return ast.Ident(None, first.text)
+
+    def parse_condition(self) -> ast.Condition:
+        left = self.parse_expr()
+        token = self.peek()
+        if token.is_keyword("BETWEEN"):
+            if not isinstance(left, ast.Ident):
+                raise SqlParseError("BETWEEN requires a column on the left")
+            self.advance()
+            low = self.parse_expr()
+            self.expect_keyword("AND")
+            high = self.parse_expr()
+            return ast.BetweenCond(left, low, high)
+        if token.is_keyword("IN"):
+            if not isinstance(left, ast.Ident):
+                raise SqlParseError("IN requires a column on the left")
+            self.advance()
+            self.expect_symbol("(")
+            values = [self.parse_expr()]
+            while self.accept_symbol(","):
+                values.append(self.parse_expr())
+            self.expect_symbol(")")
+            return ast.InCond(left, tuple(values))
+        if token.kind is TokenKind.SYMBOL and token.text in (
+                "=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            right = self.parse_expr()
+            return ast.ComparisonCond(op, left, right)
+        raise SqlParseError(
+            f"expected predicate operator, got {token.text!r} at offset "
+            f"{token.position}"
+        )
+
+    def parse_order_key(self) -> ast.OrderItem:
+        key = self.parse_qualified_ident()
+        ascending = True
+        if self.accept_keyword("ASC"):
+            ascending = True
+        elif self.accept_keyword("DESC"):
+            ascending = False
+        return ast.OrderItem(key, ascending)
+
+
+def parse(sql: str) -> ast.SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).parse_select()
+
+
+__all__ = ["parse"]

@@ -1,0 +1,22 @@
+"""The Star Schema Benchmark (O'Neil, O'Neil, Chen), as used in the paper.
+
+* :mod:`~repro.ssb.schema` — table schemas, value domains, sizing rules.
+* :mod:`~repro.ssb.generator` — deterministic data generator
+  (:class:`~repro.ssb.generator.SsbData`).
+* :mod:`~repro.ssb.queries` — the 13 queries as :class:`StarQuery` IR plus
+  the paper's published selectivities.
+* :mod:`~repro.ssb.sql_text` — the SQL text of each query (parsed by the
+  SQL frontend and asserted equal to the hand-built IR in tests).
+* :mod:`~repro.ssb.denormalize` — the pre-joined wide table of Figure 8.
+"""
+
+from .generator import SsbData, generate
+from .queries import all_queries, query_by_name, PAPER_SELECTIVITIES
+
+__all__ = [
+    "SsbData",
+    "generate",
+    "all_queries",
+    "query_by_name",
+    "PAPER_SELECTIVITIES",
+]

@@ -1,0 +1,407 @@
+"""Deterministic SSB data generator.
+
+Produces the five SSB tables as in-memory
+:class:`~repro.storage.table.Table` objects, vectorized with numpy and
+fully determined by ``(scale_factor, seed)``.
+
+Properties the experiments rely on (and tests assert):
+
+* **Dimension sort + key reassignment.**  Each dimension is sorted by its
+  rollup hierarchy (customer/supplier: region, nation, city; part: mfgr,
+  category, brand1; date: chronological) and its primary key is assigned
+  ``1..N`` *after* sorting.  This is exactly the "dictionary encoding for
+  key reassignment" of Section 5.4.2: equality predicates on any rollup
+  attribute select a contiguous key range, enabling between-predicate
+  rewriting; and key ``k`` lives at position ``k-1``, enabling the
+  invisible join's direct array extraction.  The date table keeps its
+  yyyymmdd key — non-contiguous, so date joins need real lookups, as the
+  paper notes in Section 5.4.1.
+* **Fact sort order.**  The lineorder table is sorted on (orderdate,
+  quantity, discount), the one sorted + two secondarily-sorted columns of
+  Section 6.3.2.
+* **Published selectivities.**  Value distributions are uniform over the
+  spec domains, so the 13 LINEORDER selectivities in Section 3 hold (see
+  ``tests/ssb/test_selectivities.py``).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..storage.column import Column, StringDictionary
+from ..storage.table import SortOrder, Table
+from . import schema as sp
+
+DEFAULT_SEED = 20080609  # SIGMOD'08 began June 9, 2008
+
+
+@dataclass
+class SsbData:
+    """The generated benchmark database."""
+
+    scale_factor: float
+    seed: int
+    lineorder: Table
+    customer: Table
+    supplier: Table
+    part: Table
+    date: Table
+
+    @property
+    def tables(self) -> Dict[str, Table]:
+        return {
+            "lineorder": self.lineorder,
+            "customer": self.customer,
+            "supplier": self.supplier,
+            "part": self.part,
+            "date": self.date,
+        }
+
+    def table(self, name: str) -> Table:
+        return self.tables[name]
+
+    def dimensions(self) -> Dict[str, Table]:
+        return {k: v for k, v in self.tables.items() if k != "lineorder"}
+
+
+def generate(scale_factor: float = 0.05, seed: int = DEFAULT_SEED) -> SsbData:
+    """Generate the SSB database at ``scale_factor`` deterministically."""
+    sizes = sp.table_sizes(scale_factor)
+    rng = np.random.default_rng(seed)
+    date = _generate_date()
+    customer = _generate_customer(sizes["customer"], rng)
+    supplier = _generate_supplier(sizes["supplier"], rng)
+    part = _generate_part(sizes["part"], rng)
+    lineorder = _generate_lineorder(
+        sizes["lineorder"],
+        num_customers=sizes["customer"],
+        num_suppliers=sizes["supplier"],
+        num_parts=sizes["part"],
+        date=date,
+        rng=rng,
+    )
+    return SsbData(scale_factor, seed, lineorder, customer, supplier, part,
+                   date)
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+def _string_column(name: str, domain: List[str], codes: np.ndarray,
+                   width: int) -> Column:
+    """A string column over a fixed domain given per-row domain indices."""
+    ordered = sorted(set(domain))
+    remap = np.array([ordered.index(v) for v in domain], dtype=np.int32)
+    dictionary = StringDictionary.from_sorted_unique(ordered)
+    return Column.from_codes(name, remap[codes], dictionary, width)
+
+
+def _unique_string_column(name: str, values: List[str], width: int) -> Column:
+    """A string column where most values are distinct (names, addresses)."""
+    return Column.from_strings(name, values, width)
+
+
+def _sorted_with_keys(name: str, columns: List[Column], sort_keys: List[str],
+                      key_column: str) -> Table:
+    """Sort by the rollup hierarchy, then assign contiguous keys 1..N."""
+    table = Table(name, columns).sort_by(sort_keys)
+    n = table.num_rows
+    keys = Column.from_ints(key_column, np.arange(1, n + 1, dtype=np.int32),
+                            table.schema.type_of(key_column))
+    rebuilt = [keys if c.name == key_column else c for c in table.columns()]
+    return Table(name, rebuilt, SortOrder(tuple(sort_keys)))
+
+
+# --------------------------------------------------------------------- #
+# dimensions
+# --------------------------------------------------------------------- #
+def _stratified(n: int, cardinality: int, rng: np.random.Generator
+                ) -> np.ndarray:
+    """A permutation-stratified uniform assignment over ``cardinality``.
+
+    Every domain value receives either floor(n/card) or ceil(n/card)
+    rows — the exact-uniform coverage the SSB spec's selectivities
+    assume, which plain i.i.d. sampling only approximates (badly, for
+    small dimension tables at sub-1 scale factors).
+    """
+    return (rng.permutation(n) % cardinality).astype(np.int32)
+
+
+def _generate_customer(n: int, rng: np.random.Generator) -> Table:
+    strata = _stratified(n, len(sp.NATIONS) * sp.CITIES_PER_NATION, rng)
+    nation_idx = strata % len(sp.NATIONS)
+    city_digit = strata // len(sp.NATIONS)
+    nations = list(sp.NATIONS)
+    regions = [sp.NATION_REGION[x] for x in nations]
+    cities = [sp.city_name(nations[i], d)
+              for i, d in zip(nation_idx, city_digit)]
+    segments = rng.integers(0, len(sp.MKT_SEGMENTS), n).astype(np.int32)
+    columns = [
+        Column.from_ints("custkey", np.zeros(n, dtype=np.int32),
+                         sp.CUSTOMER_SCHEMA.type_of("custkey")),
+        _unique_string_column(
+            "name", [f"Customer#{i:09d}" for i in range(1, n + 1)], 25),
+        _unique_string_column(
+            "address", [_address(rng) for _ in range(n)], 25),
+        Column.from_strings("city", cities, 10),
+        _string_column("nation", nations, nation_idx, 15),
+        _string_column("region", regions, nation_idx, 12),
+        _unique_string_column(
+            "phone", [_phone(rng) for _ in range(n)], 15),
+        _string_column("mktsegment", list(sp.MKT_SEGMENTS), segments, 10),
+    ]
+    return _sorted_with_keys("customer", columns,
+                             list(sp.DIMENSION_SORT_KEYS["customer"]),
+                             "custkey")
+
+
+def _generate_supplier(n: int, rng: np.random.Generator) -> Table:
+    strata = _stratified(n, len(sp.NATIONS) * sp.CITIES_PER_NATION, rng)
+    nation_idx = strata % len(sp.NATIONS)
+    city_digit = strata // len(sp.NATIONS)
+    nations = list(sp.NATIONS)
+    regions = [sp.NATION_REGION[x] for x in nations]
+    cities = [sp.city_name(nations[i], d)
+              for i, d in zip(nation_idx, city_digit)]
+    columns = [
+        Column.from_ints("suppkey", np.zeros(n, dtype=np.int32),
+                         sp.SUPPLIER_SCHEMA.type_of("suppkey")),
+        _unique_string_column(
+            "name", [f"Supplier#{i:09d}" for i in range(1, n + 1)], 25),
+        _unique_string_column(
+            "address", [_address(rng) for _ in range(n)], 25),
+        Column.from_strings("city", cities, 10),
+        _string_column("nation", nations, nation_idx, 15),
+        _string_column("region", regions, nation_idx, 12),
+        _unique_string_column(
+            "phone", [_phone(rng) for _ in range(n)], 15),
+    ]
+    return _sorted_with_keys("supplier", columns,
+                             list(sp.DIMENSION_SORT_KEYS["supplier"]),
+                             "suppkey")
+
+
+def _generate_part(n: int, rng: np.random.Generator) -> Table:
+    brand_idx = _stratified(n, len(sp.BRANDS), rng)
+    brands = list(sp.BRANDS)
+    categories = [b[:7] for b in brands]
+    mfgrs = [b[:6] for b in brands]
+    color_idx = rng.integers(0, len(sp.COLORS), n).astype(np.int32)
+    type_idx = rng.integers(0, len(sp.PART_TYPES), n).astype(np.int32)
+    container_idx = rng.integers(0, len(sp.CONTAINERS), n).astype(np.int32)
+    columns = [
+        Column.from_ints("partkey", np.zeros(n, dtype=np.int32),
+                         sp.PART_SCHEMA.type_of("partkey")),
+        _unique_string_column(
+            "name", [f"part {i:08d}" for i in range(1, n + 1)], 22),
+        _string_column("mfgr", mfgrs, brand_idx, 6),
+        _string_column("category", categories, brand_idx, 7),
+        _string_column("brand1", brands, brand_idx, 9),
+        _string_column("color", list(sp.COLORS), color_idx, 11),
+        _string_column("type", list(sp.PART_TYPES), type_idx, 25),
+        Column.from_ints("size", rng.integers(1, 51, n).astype(np.int32),
+                         sp.PART_SCHEMA.type_of("size")),
+        _string_column("container", list(sp.CONTAINERS), container_idx, 10),
+    ]
+    return _sorted_with_keys("part", columns,
+                             list(sp.DIMENSION_SORT_KEYS["part"]), "partkey")
+
+
+def _generate_date() -> Table:
+    """The fixed 2556-row date dimension (no randomness)."""
+    rows = [sp.date_of_offset(i) for i in range(sp.NUM_DATE_ROWS)]
+    datekeys = np.array([sp.datekey_of(d) for d in rows], dtype=np.int32)
+    years = np.array([d.year for d in rows], dtype=np.int32)
+    months = np.array([d.month for d in rows], dtype=np.int32)
+    day_in_year = np.array([d.timetuple().tm_yday for d in rows],
+                           dtype=np.int32)
+    weekday = np.array([d.weekday() for d in rows], dtype=np.int32)
+    date_strs = [f"{sp.MONTH_NAMES[d.month - 1]} {d.day}, {d.year}"
+                 for d in rows]
+    season_idx = np.array([_season_index(d) for d in rows], dtype=np.int32)
+    columns = [
+        Column.from_ints("datekey", datekeys,
+                         sp.DATE_SCHEMA.type_of("datekey")),
+        _unique_string_column("date", date_strs, 18),
+        _string_column("dayofweek", list(sp.DAY_NAMES), weekday, 9),
+        _string_column("month", list(sp.MONTH_NAMES), months - 1, 9),
+        Column.from_ints("year", years, sp.DATE_SCHEMA.type_of("year")),
+        Column.from_ints("yearmonthnum", years * 100 + months,
+                         sp.DATE_SCHEMA.type_of("yearmonthnum")),
+        Column.from_strings(
+            "yearmonth",
+            [f"{sp.MONTH_ABBREV[d.month - 1]}{d.year}" for d in rows], 7),
+        Column.from_ints("daynuminweek", weekday + 1,
+                         sp.DATE_SCHEMA.type_of("daynuminweek")),
+        Column.from_ints("daynuminmonth",
+                         np.array([d.day for d in rows], dtype=np.int32),
+                         sp.DATE_SCHEMA.type_of("daynuminmonth")),
+        Column.from_ints("daynuminyear", day_in_year,
+                         sp.DATE_SCHEMA.type_of("daynuminyear")),
+        Column.from_ints("monthnuminyear", months,
+                         sp.DATE_SCHEMA.type_of("monthnuminyear")),
+        Column.from_ints("weeknuminyear", (day_in_year - 1) // 7 + 1,
+                         sp.DATE_SCHEMA.type_of("weeknuminyear")),
+        _string_column("sellingseason", list(sp.SELLING_SEASONS), season_idx,
+                       12),
+        Column.from_ints("lastdayinweekfl", (weekday == 6).astype(np.int32),
+                         sp.DATE_SCHEMA.type_of("lastdayinweekfl")),
+        Column.from_ints(
+            "lastdayinmonthfl",
+            np.array([int((d + datetime.timedelta(days=1)).month != d.month)
+                      for d in rows], dtype=np.int32),
+            sp.DATE_SCHEMA.type_of("lastdayinmonthfl")),
+        Column.from_ints(
+            "holidayfl",
+            np.array([int(d.month == 12 and d.day in (24, 25, 26, 31))
+                      or int(d.month == 1 and d.day == 1) for d in rows],
+                     dtype=np.int32),
+            sp.DATE_SCHEMA.type_of("holidayfl")),
+        Column.from_ints("weekdayfl", (weekday < 5).astype(np.int32),
+                         sp.DATE_SCHEMA.type_of("weekdayfl")),
+    ]
+    return Table("date", columns, SortOrder(("datekey",)))
+
+
+def _season_index(d: datetime.date) -> int:
+    if d.month == 12:
+        return sp.SELLING_SEASONS.index("Christmas")
+    if d.month in (1, 2):
+        return sp.SELLING_SEASONS.index("Winter")
+    if d.month in (3, 4, 5):
+        return sp.SELLING_SEASONS.index("Spring")
+    if d.month in (6, 7, 8):
+        return sp.SELLING_SEASONS.index("Summer")
+    return sp.SELLING_SEASONS.index("Fall")
+
+
+# --------------------------------------------------------------------- #
+# fact table
+# --------------------------------------------------------------------- #
+def _generate_lineorder(
+    n: int,
+    num_customers: int,
+    num_suppliers: int,
+    num_parts: int,
+    date: Table,
+    rng: np.random.Generator,
+) -> Table:
+    # orders of 1..7 lines; per-order attributes repeat across their lines
+    num_orders = max(1, int(n / 4))
+    lines_per_order = rng.integers(1, 8, num_orders)
+    while int(lines_per_order.sum()) < n:
+        extra = rng.integers(1, 8, max(64, num_orders // 8))
+        lines_per_order = np.concatenate([lines_per_order, extra])
+        num_orders = len(lines_per_order)
+    # trim the last orders so the total is exactly n
+    cumulative = np.cumsum(lines_per_order)
+    cut = int(np.searchsorted(cumulative, n))
+    lines_per_order = lines_per_order[:cut + 1].copy()
+    overshoot = int(lines_per_order.sum()) - n
+    lines_per_order[-1] -= overshoot
+    if lines_per_order[-1] <= 0:
+        lines_per_order = lines_per_order[:-1]
+    num_orders = len(lines_per_order)
+
+    order_ids = np.arange(1, num_orders + 1, dtype=np.int32)
+    orderkey = np.repeat(order_ids, lines_per_order)
+    linenumber = np.concatenate(
+        [np.arange(1, k + 1, dtype=np.int32) for k in lines_per_order])
+
+    order_custkey = rng.integers(1, num_customers + 1,
+                                 num_orders).astype(np.int32)
+    order_date_offset = rng.integers(0, sp.NUM_ORDER_DATES,
+                                     num_orders).astype(np.int32)
+    order_priority = rng.integers(0, len(sp.ORDER_PRIORITIES),
+                                  num_orders).astype(np.int32)
+
+    datekeys = date.column("datekey").data
+    custkey = np.repeat(order_custkey, lines_per_order)
+    orderdate = datekeys[np.repeat(order_date_offset, lines_per_order)]
+    priority_idx = np.repeat(order_priority, lines_per_order)
+
+    partkey = rng.integers(1, num_parts + 1, n).astype(np.int32)
+    suppkey = rng.integers(1, num_suppliers + 1, n).astype(np.int32)
+    quantity = rng.integers(1, 51, n).astype(np.int32)
+    discount = rng.integers(0, 11, n).astype(np.int32)
+    tax = rng.integers(0, 9, n).astype(np.int32)
+    unit_price = rng.integers(1000, 10001, n).astype(np.int64)
+    extendedprice = (quantity.astype(np.int64) * unit_price).astype(np.int32)
+    revenue = (extendedprice.astype(np.int64)
+               * (100 - discount) // 100).astype(np.int32)
+    supplycost = (extendedprice.astype(np.int64) * 6 // 10).astype(np.int32)
+    shipmode_idx = rng.integers(0, len(sp.SHIP_MODES), n).astype(np.int32)
+
+    # ordtotalprice: per-order sum of extendedprice, repeated per line
+    order_starts = np.concatenate(
+        ([0], np.cumsum(lines_per_order)[:-1])).astype(np.int64)
+    order_totals = np.add.reduceat(extendedprice.astype(np.int64),
+                                   order_starts)
+    ordtotalprice = np.minimum(
+        np.repeat(order_totals, lines_per_order), 2**31 - 1).astype(np.int32)
+
+    commit_offset = np.repeat(order_date_offset, lines_per_order) + \
+        rng.integers(30, 91, n).astype(np.int32)
+    commit_offset = np.minimum(commit_offset, sp.NUM_DATE_ROWS - 1)
+    commitdate = datekeys[commit_offset]
+
+    columns = [
+        Column.from_ints("orderkey", orderkey,
+                         sp.LINEORDER_SCHEMA.type_of("orderkey")),
+        Column.from_ints("linenumber", linenumber,
+                         sp.LINEORDER_SCHEMA.type_of("linenumber")),
+        Column.from_ints("custkey", custkey,
+                         sp.LINEORDER_SCHEMA.type_of("custkey")),
+        Column.from_ints("partkey", partkey,
+                         sp.LINEORDER_SCHEMA.type_of("partkey")),
+        Column.from_ints("suppkey", suppkey,
+                         sp.LINEORDER_SCHEMA.type_of("suppkey")),
+        Column.from_ints("orderdate", orderdate,
+                         sp.LINEORDER_SCHEMA.type_of("orderdate")),
+        _string_column("ordpriority", list(sp.ORDER_PRIORITIES), priority_idx,
+                       15),
+        Column.from_strings("shippriority", ["0"] * n, 1),
+        Column.from_ints("quantity", quantity,
+                         sp.LINEORDER_SCHEMA.type_of("quantity")),
+        Column.from_ints("extendedprice", extendedprice,
+                         sp.LINEORDER_SCHEMA.type_of("extendedprice")),
+        Column.from_ints("ordtotalprice", ordtotalprice,
+                         sp.LINEORDER_SCHEMA.type_of("ordtotalprice")),
+        Column.from_ints("discount", discount,
+                         sp.LINEORDER_SCHEMA.type_of("discount")),
+        Column.from_ints("revenue", revenue,
+                         sp.LINEORDER_SCHEMA.type_of("revenue")),
+        Column.from_ints("supplycost", supplycost,
+                         sp.LINEORDER_SCHEMA.type_of("supplycost")),
+        Column.from_ints("tax", tax, sp.LINEORDER_SCHEMA.type_of("tax")),
+        Column.from_ints("commitdate", commitdate,
+                         sp.LINEORDER_SCHEMA.type_of("commitdate")),
+        _string_column("shipmode", list(sp.SHIP_MODES), shipmode_idx, 10),
+    ]
+    table = Table("lineorder", columns)
+    return table.sort_by(list(sp.FACT_SORT_KEYS))
+
+
+# --------------------------------------------------------------------- #
+# small string helpers
+# --------------------------------------------------------------------- #
+_ADDRESS_CHARS = np.array(list("abcdefghijklmnopqrstuvwxyz0123456789 "))
+
+
+def _address(rng: np.random.Generator) -> str:
+    length = int(rng.integers(10, 25))
+    return "".join(rng.choice(_ADDRESS_CHARS, length))
+
+
+def _phone(rng: np.random.Generator) -> str:
+    a, b, c = rng.integers(10, 35), rng.integers(100, 1000), rng.integers(
+        100, 1000)
+    d = rng.integers(1000, 10000)
+    return f"{a}-{b}-{c}-{d}"
+
+
+__all__ = ["SsbData", "generate", "DEFAULT_SEED"]

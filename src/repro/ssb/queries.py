@@ -1,0 +1,271 @@
+"""The thirteen SSB queries as :class:`~repro.plan.logical.StarQuery` IR.
+
+Flights and predicates follow Section 3 of the paper (and the SSB spec);
+``PAPER_SELECTIVITIES`` records the published LINEORDER selectivity of
+each query, which ``tests/ssb/test_selectivities.py`` asserts against the
+generated data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..plan.logical import (
+    AggExpr,
+    BinOp,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    InSet,
+    OrderKey,
+    RangePredicate,
+    StarQuery,
+)
+
+LO = "lineorder"
+_DIM_KEYS = {"date": "datekey"}
+C = "customer"
+S = "supplier"
+P = "part"
+D = "date"
+
+
+def _lo(col: str) -> ColumnRef:
+    return ColumnRef(LO, col)
+
+
+def _ref(table: str, col: str) -> ColumnRef:
+    return ColumnRef(table, col)
+
+
+_REVENUE_GAIN = AggExpr(
+    "sum", BinOp("*", _lo("extendedprice"), _lo("discount")), "revenue")
+_SUM_REVENUE = AggExpr("sum", _lo("revenue"), "revenue")
+_PROFIT = AggExpr(
+    "sum", BinOp("-", _lo("revenue"), _lo("supplycost")), "profit")
+
+
+def _flight1(name: str, date_preds: List, discount: Tuple[int, int],
+             quantity_pred) -> StarQuery:
+    return StarQuery(
+        name=name,
+        fact_table=LO,
+        joins={"orderdate": D},
+        dim_keys=_DIM_KEYS,
+        predicates=tuple(date_preds) + (
+            RangePredicate(_lo("discount"), discount[0], discount[1]),
+            quantity_pred,
+        ),
+        group_by=(),
+        aggregates=(_REVENUE_GAIN,),
+    )
+
+
+Q1_1 = _flight1(
+    "Q1.1",
+    [Comparison(_ref(D, "year"), CompareOp.EQ, 1993)],
+    (1, 3),
+    Comparison(_lo("quantity"), CompareOp.LT, 25),
+)
+
+Q1_2 = _flight1(
+    "Q1.2",
+    [Comparison(_ref(D, "yearmonthnum"), CompareOp.EQ, 199401)],
+    (4, 6),
+    RangePredicate(_lo("quantity"), 26, 35),
+)
+
+Q1_3 = _flight1(
+    "Q1.3",
+    [
+        Comparison(_ref(D, "weeknuminyear"), CompareOp.EQ, 6),
+        Comparison(_ref(D, "year"), CompareOp.EQ, 1994),
+    ],
+    (5, 7),
+    RangePredicate(_lo("quantity"), 36, 40),
+)
+
+
+def _flight2(name: str, part_pred) -> Dict[str, object]:
+    return dict(
+        name=name,
+        fact_table=LO,
+        joins={"partkey": P, "suppkey": S, "orderdate": D},
+        dim_keys=_DIM_KEYS,
+        group_by=(_ref(D, "year"), _ref(P, "brand1")),
+        aggregates=(_SUM_REVENUE,),
+        order_by=(OrderKey("year"), OrderKey("brand1")),
+    )
+
+
+Q2_1 = StarQuery(
+    predicates=(
+        Comparison(_ref(P, "category"), CompareOp.EQ, "MFGR#12"),
+        Comparison(_ref(S, "region"), CompareOp.EQ, "AMERICA"),
+    ),
+    **_flight2("Q2.1", None),
+)
+
+Q2_2 = StarQuery(
+    predicates=(
+        RangePredicate(_ref(P, "brand1"), "MFGR#2221", "MFGR#2228"),
+        Comparison(_ref(S, "region"), CompareOp.EQ, "ASIA"),
+    ),
+    **_flight2("Q2.2", None),
+)
+
+Q2_3 = StarQuery(
+    predicates=(
+        Comparison(_ref(P, "brand1"), CompareOp.EQ, "MFGR#2239"),
+        Comparison(_ref(S, "region"), CompareOp.EQ, "EUROPE"),
+    ),
+    **_flight2("Q2.3", None),
+)
+
+
+def _flight3(name: str, cust_pred, supp_pred, date_pred,
+             group_cols: Tuple[str, str]) -> StarQuery:
+    return StarQuery(
+        name=name,
+        fact_table=LO,
+        joins={"custkey": C, "suppkey": S, "orderdate": D},
+        dim_keys=_DIM_KEYS,
+        predicates=(cust_pred, supp_pred, date_pred),
+        group_by=(_ref(C, group_cols[0]), _ref(S, group_cols[1]),
+                  _ref(D, "year")),
+        aggregates=(_SUM_REVENUE,),
+        order_by=(OrderKey("year"), OrderKey("revenue", ascending=False)),
+    )
+
+
+Q3_1 = _flight3(
+    "Q3.1",
+    Comparison(_ref(C, "region"), CompareOp.EQ, "ASIA"),
+    Comparison(_ref(S, "region"), CompareOp.EQ, "ASIA"),
+    RangePredicate(_ref(D, "year"), 1992, 1997),
+    ("nation", "nation"),
+)
+
+Q3_2 = _flight3(
+    "Q3.2",
+    Comparison(_ref(C, "nation"), CompareOp.EQ, "UNITED STATES"),
+    Comparison(_ref(S, "nation"), CompareOp.EQ, "UNITED STATES"),
+    RangePredicate(_ref(D, "year"), 1992, 1997),
+    ("city", "city"),
+)
+
+_KI_CITIES = ("UNITED KI1", "UNITED KI5")
+
+Q3_3 = _flight3(
+    "Q3.3",
+    InSet(_ref(C, "city"), _KI_CITIES),
+    InSet(_ref(S, "city"), _KI_CITIES),
+    RangePredicate(_ref(D, "year"), 1992, 1997),
+    ("city", "city"),
+)
+
+Q3_4 = _flight3(
+    "Q3.4",
+    InSet(_ref(C, "city"), _KI_CITIES),
+    InSet(_ref(S, "city"), _KI_CITIES),
+    Comparison(_ref(D, "yearmonth"), CompareOp.EQ, "Dec1997"),
+    ("city", "city"),
+)
+
+
+Q4_1 = StarQuery(
+    name="Q4.1",
+    fact_table=LO,
+    joins={"custkey": C, "suppkey": S, "partkey": P, "orderdate": D},
+    dim_keys=_DIM_KEYS,
+    predicates=(
+        Comparison(_ref(C, "region"), CompareOp.EQ, "AMERICA"),
+        Comparison(_ref(S, "region"), CompareOp.EQ, "AMERICA"),
+        InSet(_ref(P, "mfgr"), ("MFGR#1", "MFGR#2")),
+    ),
+    group_by=(_ref(D, "year"), _ref(C, "nation")),
+    aggregates=(_PROFIT,),
+    order_by=(OrderKey("year"), OrderKey("nation")),
+)
+
+Q4_2 = StarQuery(
+    name="Q4.2",
+    fact_table=LO,
+    joins={"custkey": C, "suppkey": S, "partkey": P, "orderdate": D},
+    dim_keys=_DIM_KEYS,
+    predicates=(
+        Comparison(_ref(C, "region"), CompareOp.EQ, "AMERICA"),
+        Comparison(_ref(S, "region"), CompareOp.EQ, "AMERICA"),
+        InSet(_ref(D, "year"), (1997, 1998)),
+        InSet(_ref(P, "mfgr"), ("MFGR#1", "MFGR#2")),
+    ),
+    group_by=(_ref(D, "year"), _ref(S, "nation"), _ref(P, "category")),
+    aggregates=(_PROFIT,),
+    order_by=(OrderKey("year"), OrderKey("nation"), OrderKey("category")),
+)
+
+Q4_3 = StarQuery(
+    name="Q4.3",
+    fact_table=LO,
+    joins={"custkey": C, "suppkey": S, "partkey": P, "orderdate": D},
+    dim_keys=_DIM_KEYS,
+    predicates=(
+        Comparison(_ref(C, "region"), CompareOp.EQ, "AMERICA"),
+        Comparison(_ref(S, "nation"), CompareOp.EQ, "UNITED STATES"),
+        InSet(_ref(D, "year"), (1997, 1998)),
+        Comparison(_ref(P, "category"), CompareOp.EQ, "MFGR#14"),
+    ),
+    group_by=(_ref(D, "year"), _ref(S, "city"), _ref(P, "brand1")),
+    aggregates=(_PROFIT,),
+    order_by=(OrderKey("year"), OrderKey("city"), OrderKey("brand1")),
+)
+
+
+ALL_QUERIES: Tuple[StarQuery, ...] = (
+    Q1_1, Q1_2, Q1_3,
+    Q2_1, Q2_2, Q2_3,
+    Q3_1, Q3_2, Q3_3, Q3_4,
+    Q4_1, Q4_2, Q4_3,
+)
+
+#: Query name -> flight number.
+FLIGHT_OF: Dict[str, int] = {q.name: int(q.name[1]) for q in ALL_QUERIES}
+
+#: The LINEORDER selectivities published in Section 3 of the paper.
+PAPER_SELECTIVITIES: Dict[str, float] = {
+    "Q1.1": 1.9e-2,
+    "Q1.2": 6.5e-4,
+    "Q1.3": 7.5e-5,
+    "Q2.1": 8.0e-3,
+    "Q2.2": 1.6e-3,
+    "Q2.3": 2.0e-4,
+    "Q3.1": 3.4e-2,
+    "Q3.2": 1.4e-3,
+    "Q3.3": 5.5e-5,
+    "Q3.4": 7.6e-7,
+    "Q4.1": 1.6e-2,
+    "Q4.2": 4.5e-3,
+    "Q4.3": 9.1e-5,
+}
+
+
+def all_queries() -> List[StarQuery]:
+    """The 13 SSB queries in flight order."""
+    return list(ALL_QUERIES)
+
+
+def query_by_name(name: str) -> StarQuery:
+    """Look up one query, e.g. ``query_by_name("Q3.1")``."""
+    for q in ALL_QUERIES:
+        if q.name == name:
+            return q
+    raise KeyError(f"no SSB query named {name!r}")
+
+
+__all__ = [
+    "all_queries",
+    "query_by_name",
+    "ALL_QUERIES",
+    "FLIGHT_OF",
+    "PAPER_SELECTIVITIES",
+]

@@ -1,0 +1,336 @@
+"""SSB schemas, value domains, and sizing rules (Figure 1 of the paper).
+
+Domains follow the SSB specification (itself derived from TPC-H dbgen):
+
+* 5 regions, 25 nations (5 per region), 250 cities (10 per nation, named
+  as the first 9 characters of the nation plus a digit);
+* parts roll up brand1 (1000) → category (25) → mfgr (5);
+* dates cover the 7 calendar years 1992-1998 (2556 days); orders occupy
+  the first 2405 days (through 1998-08-02), matching the paper's
+  observation that orderdate has 2405 distinct values;
+* table cardinalities scale with the scale factor SF: lineorder
+  6,000,000 x SF, customer 30,000 x SF, supplier 2,000 x SF, date fixed,
+  part 200,000 x (1 + log2 SF) for SF >= 1 (pro-rated below 1).
+
+Brand suffixes are zero-padded to two digits ("MFGR#2201".."MFGR#2240")
+so that Q2.2's string BETWEEN selects exactly 8 of 1000 brands, keeping
+the published selectivity of 1.6e-3 exact.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from typing import Dict, Tuple
+
+from ..types import Schema, int32, string
+
+# --------------------------------------------------------------------- #
+# geography
+# --------------------------------------------------------------------- #
+REGIONS: Tuple[str, ...] = (
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST",
+)
+
+#: nation -> region, 5 nations per region (TPC-H's 25 nations).
+NATION_REGION: Dict[str, str] = {
+    "ALGERIA": "AFRICA",
+    "ETHIOPIA": "AFRICA",
+    "KENYA": "AFRICA",
+    "MOROCCO": "AFRICA",
+    "MOZAMBIQUE": "AFRICA",
+    "ARGENTINA": "AMERICA",
+    "BRAZIL": "AMERICA",
+    "CANADA": "AMERICA",
+    "PERU": "AMERICA",
+    "UNITED STATES": "AMERICA",
+    "CHINA": "ASIA",
+    "INDIA": "ASIA",
+    "INDONESIA": "ASIA",
+    "JAPAN": "ASIA",
+    "VIETNAM": "ASIA",
+    "FRANCE": "EUROPE",
+    "GERMANY": "EUROPE",
+    "ROMANIA": "EUROPE",
+    "RUSSIA": "EUROPE",
+    "UNITED KINGDOM": "EUROPE",
+    "EGYPT": "MIDDLE EAST",
+    "IRAN": "MIDDLE EAST",
+    "IRAQ": "MIDDLE EAST",
+    "JORDAN": "MIDDLE EAST",
+    "SAUDI ARABIA": "MIDDLE EAST",
+}
+
+NATIONS: Tuple[str, ...] = tuple(sorted(NATION_REGION))
+
+CITIES_PER_NATION = 10
+
+
+def city_name(nation: str, digit: int) -> str:
+    """SSB city naming: first 9 chars of the nation (space-padded) + digit."""
+    return f"{nation[:9]:<9s}{digit}"
+
+
+ALL_CITIES: Tuple[str, ...] = tuple(
+    city_name(nation, digit)
+    for nation in NATIONS
+    for digit in range(CITIES_PER_NATION)
+)
+
+# --------------------------------------------------------------------- #
+# parts
+# --------------------------------------------------------------------- #
+NUM_MFGRS = 5
+CATEGORIES_PER_MFGR = 5
+BRANDS_PER_CATEGORY = 40
+
+MFGRS: Tuple[str, ...] = tuple(f"MFGR#{i}" for i in range(1, NUM_MFGRS + 1))
+CATEGORIES: Tuple[str, ...] = tuple(
+    f"MFGR#{m}{c}"
+    for m in range(1, NUM_MFGRS + 1)
+    for c in range(1, CATEGORIES_PER_MFGR + 1)
+)
+BRANDS: Tuple[str, ...] = tuple(
+    f"{cat}{b:02d}" for cat in CATEGORIES for b in range(1, BRANDS_PER_CATEGORY + 1)
+)
+
+COLORS: Tuple[str, ...] = tuple(
+    f"color{i:02d}" for i in range(40)
+)
+PART_TYPES: Tuple[str, ...] = tuple(
+    f"{kind} {finish}"
+    for kind in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for finish in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+)
+CONTAINERS: Tuple[str, ...] = tuple(
+    f"{size} {kind}"
+    for size in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "PKG", "PACK", "CAN", "DRUM", "JAR")
+)
+
+# --------------------------------------------------------------------- #
+# other dimension domains
+# --------------------------------------------------------------------- #
+MKT_SEGMENTS: Tuple[str, ...] = (
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+)
+ORDER_PRIORITIES: Tuple[str, ...] = (
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW",
+)
+SHIP_MODES: Tuple[str, ...] = (
+    "AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK",
+)
+MONTH_NAMES: Tuple[str, ...] = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+MONTH_ABBREV: Tuple[str, ...] = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+DAY_NAMES: Tuple[str, ...] = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+    "Saturday", "Sunday",
+)
+SELLING_SEASONS: Tuple[str, ...] = (
+    "Winter", "Spring", "Summer", "Fall", "Christmas",
+)
+
+# --------------------------------------------------------------------- #
+# calendar
+# --------------------------------------------------------------------- #
+FIRST_DATE = datetime.date(1992, 1, 1)
+NUM_YEARS = 7
+#: 365 * 7 (the SSB date table ignores leap days in its sizing; we keep
+#: real calendar dates and simply take the first 2556 days).
+NUM_DATE_ROWS = 365 * NUM_YEARS
+#: Orders occupy the first 2405 days (through 1998-08-02), giving the
+#: 2405 distinct orderdate values the paper reports.
+NUM_ORDER_DATES = 2405
+
+
+def date_of_offset(offset: int) -> datetime.date:
+    """Calendar date for day ``offset`` (0 = 1992-01-01)."""
+    return FIRST_DATE + datetime.timedelta(days=offset)
+
+
+def datekey_of(d: datetime.date) -> int:
+    """SSB datekey: the yyyymmdd integer."""
+    return d.year * 10000 + d.month * 100 + d.day
+
+
+# --------------------------------------------------------------------- #
+# sizing
+# --------------------------------------------------------------------- #
+LINEORDER_PER_SF = 6_000_000
+CUSTOMER_PER_SF = 30_000
+SUPPLIER_PER_SF = 2_000
+PART_BASE = 200_000
+
+
+def table_sizes(scale_factor: float) -> Dict[str, int]:
+    """Row counts for each table at ``scale_factor``.
+
+    The part formula is the spec's ``200,000 * (1 + log2 SF)`` for SF >= 1;
+    below 1 it pro-rates linearly (the spec does not define sub-1 scale
+    factors) with a floor that keeps every brand represented.
+    """
+    if scale_factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {scale_factor}")
+    if scale_factor >= 1:
+        part = int(PART_BASE * (1 + math.log2(scale_factor)))
+    else:
+        part = max(len(BRANDS) * 2, int(PART_BASE * scale_factor))
+    return {
+        "lineorder": max(1, int(LINEORDER_PER_SF * scale_factor)),
+        "customer": max(len(ALL_CITIES), int(CUSTOMER_PER_SF * scale_factor)),
+        "supplier": max(len(ALL_CITIES), int(SUPPLIER_PER_SF * scale_factor)),
+        "part": part,
+        "date": NUM_DATE_ROWS,
+    }
+
+
+# --------------------------------------------------------------------- #
+# schemas (string widths per the SSB spec's CHAR declarations)
+# --------------------------------------------------------------------- #
+LINEORDER_SCHEMA = Schema.of(
+    ("orderkey", int32()),
+    ("linenumber", int32()),
+    ("custkey", int32()),
+    ("partkey", int32()),
+    ("suppkey", int32()),
+    ("orderdate", int32()),
+    ("ordpriority", string(15)),
+    ("shippriority", string(1)),
+    ("quantity", int32()),
+    ("extendedprice", int32()),
+    ("ordtotalprice", int32()),
+    ("discount", int32()),
+    ("revenue", int32()),
+    ("supplycost", int32()),
+    ("tax", int32()),
+    ("commitdate", int32()),
+    ("shipmode", string(10)),
+)
+
+CUSTOMER_SCHEMA = Schema.of(
+    ("custkey", int32()),
+    ("name", string(25)),
+    ("address", string(25)),
+    ("city", string(10)),
+    ("nation", string(15)),
+    ("region", string(12)),
+    ("phone", string(15)),
+    ("mktsegment", string(10)),
+)
+
+SUPPLIER_SCHEMA = Schema.of(
+    ("suppkey", int32()),
+    ("name", string(25)),
+    ("address", string(25)),
+    ("city", string(10)),
+    ("nation", string(15)),
+    ("region", string(12)),
+    ("phone", string(15)),
+)
+
+PART_SCHEMA = Schema.of(
+    ("partkey", int32()),
+    ("name", string(22)),
+    ("mfgr", string(6)),
+    ("category", string(7)),
+    ("brand1", string(9)),
+    ("color", string(11)),
+    ("type", string(25)),
+    ("size", int32()),
+    ("container", string(10)),
+)
+
+DATE_SCHEMA = Schema.of(
+    ("datekey", int32()),
+    ("date", string(18)),
+    ("dayofweek", string(9)),
+    ("month", string(9)),
+    ("year", int32()),
+    ("yearmonthnum", int32()),
+    ("yearmonth", string(7)),
+    ("daynuminweek", int32()),
+    ("daynuminmonth", int32()),
+    ("daynuminyear", int32()),
+    ("monthnuminyear", int32()),
+    ("weeknuminyear", int32()),
+    ("sellingseason", string(12)),
+    ("lastdayinweekfl", int32()),
+    ("lastdayinmonthfl", int32()),
+    ("holidayfl", int32()),
+    ("weekdayfl", int32()),
+)
+
+SCHEMAS: Dict[str, Schema] = {
+    "lineorder": LINEORDER_SCHEMA,
+    "customer": CUSTOMER_SCHEMA,
+    "supplier": SUPPLIER_SCHEMA,
+    "part": PART_SCHEMA,
+    "date": DATE_SCHEMA,
+}
+
+#: Fact foreign keys -> (dimension table, dimension key column).
+FOREIGN_KEYS: Dict[str, Tuple[str, str]] = {
+    "custkey": ("customer", "custkey"),
+    "suppkey": ("supplier", "suppkey"),
+    "partkey": ("part", "partkey"),
+    "orderdate": ("date", "datekey"),
+    "commitdate": ("date", "datekey"),
+}
+
+#: Dimension sort hierarchies (coarse -> fine), the property
+#: between-predicate rewriting exploits (Section 5.4.2).
+DIMENSION_SORT_KEYS: Dict[str, Tuple[str, ...]] = {
+    "customer": ("region", "nation", "city"),
+    "supplier": ("region", "nation", "city"),
+    "part": ("mfgr", "category", "brand1"),
+    "date": ("datekey",),
+}
+
+#: The fact projection's sort order (Section 6.3.2: orderdate sorted,
+#: quantity and discount secondarily sorted).
+FACT_SORT_KEYS: Tuple[str, ...] = ("orderdate", "quantity", "discount")
+
+
+__all__ = [
+    "REGIONS",
+    "NATIONS",
+    "NATION_REGION",
+    "CITIES_PER_NATION",
+    "ALL_CITIES",
+    "city_name",
+    "MFGRS",
+    "CATEGORIES",
+    "BRANDS",
+    "COLORS",
+    "PART_TYPES",
+    "CONTAINERS",
+    "MKT_SEGMENTS",
+    "ORDER_PRIORITIES",
+    "SHIP_MODES",
+    "MONTH_NAMES",
+    "MONTH_ABBREV",
+    "DAY_NAMES",
+    "SELLING_SEASONS",
+    "FIRST_DATE",
+    "NUM_YEARS",
+    "NUM_DATE_ROWS",
+    "NUM_ORDER_DATES",
+    "date_of_offset",
+    "datekey_of",
+    "table_sizes",
+    "LINEORDER_SCHEMA",
+    "CUSTOMER_SCHEMA",
+    "SUPPLIER_SCHEMA",
+    "PART_SCHEMA",
+    "DATE_SCHEMA",
+    "SCHEMAS",
+    "FOREIGN_KEYS",
+    "DIMENSION_SORT_KEYS",
+    "FACT_SORT_KEYS",
+]

@@ -1,0 +1,169 @@
+"""SQL text of the thirteen SSB queries (the paper's dialect).
+
+The paper calls the date dimension ``dwdate`` (to dodge a reserved word
+in System X); our catalog names it ``date``, which the lexer handles
+fine.  ``SQL_TEXT[name]`` parses through :func:`repro.sql.parse_query`
+into an IR equivalent to the hand-built query of the same name — a
+round-trip asserted by ``tests/sql/test_ssb_sql.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+SQL_TEXT: Dict[str, str] = {
+    "Q1.1": """
+        SELECT sum(lo.extendedprice * lo.discount) AS revenue
+        FROM lineorder AS lo, date AS d
+        WHERE lo.orderdate = d.datekey
+          AND d.year = 1993
+          AND lo.discount BETWEEN 1 AND 3
+          AND lo.quantity < 25;
+    """,
+    "Q1.2": """
+        SELECT sum(lo.extendedprice * lo.discount) AS revenue
+        FROM lineorder AS lo, date AS d
+        WHERE lo.orderdate = d.datekey
+          AND d.yearmonthnum = 199401
+          AND lo.discount BETWEEN 4 AND 6
+          AND lo.quantity BETWEEN 26 AND 35;
+    """,
+    "Q1.3": """
+        SELECT sum(lo.extendedprice * lo.discount) AS revenue
+        FROM lineorder AS lo, date AS d
+        WHERE lo.orderdate = d.datekey
+          AND d.weeknuminyear = 6
+          AND d.year = 1994
+          AND lo.discount BETWEEN 5 AND 7
+          AND lo.quantity BETWEEN 36 AND 40;
+    """,
+    "Q2.1": """
+        SELECT sum(lo.revenue) AS revenue, d.year, p.brand1
+        FROM lineorder AS lo, date AS d, part AS p, supplier AS s
+        WHERE lo.orderdate = d.datekey
+          AND lo.partkey = p.partkey
+          AND lo.suppkey = s.suppkey
+          AND p.category = 'MFGR#12'
+          AND s.region = 'AMERICA'
+        GROUP BY d.year, p.brand1
+        ORDER BY year, brand1;
+    """,
+    "Q2.2": """
+        SELECT sum(lo.revenue) AS revenue, d.year, p.brand1
+        FROM lineorder AS lo, date AS d, part AS p, supplier AS s
+        WHERE lo.orderdate = d.datekey
+          AND lo.partkey = p.partkey
+          AND lo.suppkey = s.suppkey
+          AND p.brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'
+          AND s.region = 'ASIA'
+        GROUP BY d.year, p.brand1
+        ORDER BY year, brand1;
+    """,
+    "Q2.3": """
+        SELECT sum(lo.revenue) AS revenue, d.year, p.brand1
+        FROM lineorder AS lo, date AS d, part AS p, supplier AS s
+        WHERE lo.orderdate = d.datekey
+          AND lo.partkey = p.partkey
+          AND lo.suppkey = s.suppkey
+          AND p.brand1 = 'MFGR#2239'
+          AND s.region = 'EUROPE'
+        GROUP BY d.year, p.brand1
+        ORDER BY year, brand1;
+    """,
+    "Q3.1": """
+        SELECT c.nation, s.nation, d.year, sum(lo.revenue) AS revenue
+        FROM customer AS c, lineorder AS lo, supplier AS s, date AS d
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.orderdate = d.datekey
+          AND c.region = 'ASIA'
+          AND s.region = 'ASIA'
+          AND d.year BETWEEN 1992 AND 1997
+        GROUP BY c.nation, s.nation, d.year
+        ORDER BY year ASC, revenue DESC;
+    """,
+    "Q3.2": """
+        SELECT c.city, s.city, d.year, sum(lo.revenue) AS revenue
+        FROM customer AS c, lineorder AS lo, supplier AS s, date AS d
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.orderdate = d.datekey
+          AND c.nation = 'UNITED STATES'
+          AND s.nation = 'UNITED STATES'
+          AND d.year BETWEEN 1992 AND 1997
+        GROUP BY c.city, s.city, d.year
+        ORDER BY year ASC, revenue DESC;
+    """,
+    "Q3.3": """
+        SELECT c.city, s.city, d.year, sum(lo.revenue) AS revenue
+        FROM customer AS c, lineorder AS lo, supplier AS s, date AS d
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.orderdate = d.datekey
+          AND c.city IN ('UNITED KI1', 'UNITED KI5')
+          AND s.city IN ('UNITED KI1', 'UNITED KI5')
+          AND d.year BETWEEN 1992 AND 1997
+        GROUP BY c.city, s.city, d.year
+        ORDER BY year ASC, revenue DESC;
+    """,
+    "Q3.4": """
+        SELECT c.city, s.city, d.year, sum(lo.revenue) AS revenue
+        FROM customer AS c, lineorder AS lo, supplier AS s, date AS d
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.orderdate = d.datekey
+          AND c.city IN ('UNITED KI1', 'UNITED KI5')
+          AND s.city IN ('UNITED KI1', 'UNITED KI5')
+          AND d.yearmonth = 'Dec1997'
+        GROUP BY c.city, s.city, d.year
+        ORDER BY year ASC, revenue DESC;
+    """,
+    "Q4.1": """
+        SELECT d.year, c.nation, sum(lo.revenue - lo.supplycost) AS profit
+        FROM date AS d, customer AS c, supplier AS s, part AS p,
+             lineorder AS lo
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.partkey = p.partkey
+          AND lo.orderdate = d.datekey
+          AND c.region = 'AMERICA'
+          AND s.region = 'AMERICA'
+          AND p.mfgr IN ('MFGR#1', 'MFGR#2')
+        GROUP BY d.year, c.nation
+        ORDER BY year, nation;
+    """,
+    "Q4.2": """
+        SELECT d.year, s.nation, p.category,
+               sum(lo.revenue - lo.supplycost) AS profit
+        FROM date AS d, customer AS c, supplier AS s, part AS p,
+             lineorder AS lo
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.partkey = p.partkey
+          AND lo.orderdate = d.datekey
+          AND c.region = 'AMERICA'
+          AND s.region = 'AMERICA'
+          AND d.year IN (1997, 1998)
+          AND p.mfgr IN ('MFGR#1', 'MFGR#2')
+        GROUP BY d.year, s.nation, p.category
+        ORDER BY year, nation, category;
+    """,
+    "Q4.3": """
+        SELECT d.year, s.city, p.brand1,
+               sum(lo.revenue - lo.supplycost) AS profit
+        FROM date AS d, customer AS c, supplier AS s, part AS p,
+             lineorder AS lo
+        WHERE lo.custkey = c.custkey
+          AND lo.suppkey = s.suppkey
+          AND lo.partkey = p.partkey
+          AND lo.orderdate = d.datekey
+          AND c.region = 'AMERICA'
+          AND s.nation = 'UNITED STATES'
+          AND d.year IN (1997, 1998)
+          AND p.category = 'MFGR#14'
+        GROUP BY d.year, s.city, p.brand1
+        ORDER BY year, city, brand1;
+    """,
+}
+
+__all__ = ["SQL_TEXT"]

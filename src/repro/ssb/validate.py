@@ -1,0 +1,192 @@
+"""SSB data validation: every invariant the experiments rely on.
+
+Run ``python -m repro.ssb.validate [--sf 0.02]`` to check a generated
+database, or call :func:`validate` programmatically.  Checks cover
+sizing, value domains, referential integrity, sort orders, key
+contiguity, order-level consistency, and the Section 3 selectivities.
+Each check returns a :class:`CheckResult`; the CLI prints a PASS/FAIL
+table and exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from . import schema as sp
+from .generator import SsbData, generate
+from .queries import ALL_QUERIES, PAPER_SELECTIVITIES
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+def _check(name: str):
+    def wrap(fn: Callable[[SsbData], str]):
+        def run(data: SsbData) -> CheckResult:
+            try:
+                detail = fn(data)
+                return CheckResult(name, True, detail or "")
+            except AssertionError as failure:
+                return CheckResult(name, False, str(failure))
+        run._check_name = name
+        return run
+    return wrap
+
+
+@_check("row counts match the sizing formula")
+def _row_counts(data: SsbData) -> str:
+    sizes = sp.table_sizes(data.scale_factor)
+    for name, table in data.tables.items():
+        assert table.num_rows == sizes[name], \
+            f"{name}: {table.num_rows} rows, expected {sizes[name]}"
+    return f"{data.lineorder.num_rows:,} fact rows"
+
+
+@_check("referential integrity (every FK resolves)")
+def _foreign_keys(data: SsbData) -> str:
+    lo = data.lineorder
+    for fk, (dim_name, key_col) in sp.FOREIGN_KEYS.items():
+        keys = data.table(dim_name).column(key_col).data
+        assert np.isin(lo.column(fk).data, keys).all(), \
+            f"dangling {fk} into {dim_name}"
+    return "5 foreign keys checked"
+
+
+@_check("dimension keys are contiguous 1..N (after hierarchy sort)")
+def _key_contiguity(data: SsbData) -> str:
+    for name in ("customer", "supplier", "part"):
+        table = data.table(name)
+        keys = table.columns()[0].data
+        assert np.array_equal(
+            keys, np.arange(1, table.num_rows + 1, dtype=keys.dtype)), name
+    return "customer, supplier, part"
+
+
+@_check("tables obey their declared sort orders")
+def _sort_orders(data: SsbData) -> str:
+    for name, table in data.tables.items():
+        assert table.verify_sorted(), f"{name} violates {table.sort_order}"
+    return f"fact sorted on {data.lineorder.sort_order.keys}"
+
+
+@_check("value domains within SSB spec bounds")
+def _domains(data: SsbData) -> str:
+    lo = data.lineorder
+    q = lo.column("quantity").data
+    d = lo.column("discount").data
+    t = lo.column("tax").data
+    assert q.min() >= 1 and q.max() <= 50, "quantity out of [1,50]"
+    assert d.min() >= 0 and d.max() <= 10, "discount out of [0,10]"
+    assert t.min() >= 0 and t.max() <= 8, "tax out of [0,8]"
+    regions = set(data.customer.column("region").dictionary.strings)
+    assert regions <= set(sp.REGIONS), f"unknown regions {regions}"
+    brands = set(data.part.column("brand1").dictionary.strings)
+    assert brands <= set(sp.BRANDS), "unknown brand values"
+    return "quantity, discount, tax, regions, brands"
+
+
+@_check("revenue = extendedprice * (100 - discount) / 100")
+def _derived_columns(data: SsbData) -> str:
+    lo = data.lineorder
+    ep = lo.column("extendedprice").data.astype(np.int64)
+    disc = lo.column("discount").data.astype(np.int64)
+    rev = lo.column("revenue").data.astype(np.int64)
+    assert np.array_equal(rev, ep * (100 - disc) // 100)
+    return ""
+
+
+@_check("orders are internally consistent (shared customer/date)")
+def _order_consistency(data: SsbData) -> str:
+    lo = data.lineorder
+    orderkey = lo.column("orderkey").data
+    order = np.argsort(orderkey, kind="stable")
+    ok = orderkey[order]
+    ck = lo.column("custkey").data[order]
+    od = lo.column("orderdate").data[order]
+    same_order = ok[1:] == ok[:-1]
+    assert np.all(ck[1:][same_order] == ck[:-1][same_order]), \
+        "custkey differs within an order"
+    assert np.all(od[1:][same_order] == od[:-1][same_order]), \
+        "orderdate differs within an order"
+    lines = np.bincount(orderkey)
+    assert lines[lines > 0].max() <= 7, "an order has more than 7 lines"
+    return f"{int((lines > 0).sum()):,} orders"
+
+
+@_check("orderdate spans the first 2405 calendar days")
+def _orderdate_span(data: SsbData) -> str:
+    distinct = np.unique(data.lineorder.column("orderdate").data)
+    datekeys = data.date.column("datekey").data
+    allowed = set(datekeys[:sp.NUM_ORDER_DATES].tolist())
+    assert set(distinct.tolist()) <= allowed, \
+        "orderdate outside the order calendar"
+    return f"{len(distinct)} distinct dates"
+
+
+@_check("Section 3 selectivities within statistical tolerance")
+def _selectivities(data: SsbData) -> str:
+    from ..reference import selected_positions
+
+    n = data.lineorder.num_rows
+    worst = ""
+    for query in ALL_QUERIES:
+        observed = len(selected_positions(data.tables, query))
+        expected = PAPER_SELECTIVITIES[query.name] * n
+        slack = 5 * math.sqrt(max(expected, 1)) + 0.25 * expected + 2
+        assert abs(observed - expected) <= slack, (
+            f"{query.name}: observed {observed}, expected {expected:.1f}"
+        )
+    return "13 queries"
+
+
+ALL_CHECKS = [
+    _row_counts,
+    _foreign_keys,
+    _key_contiguity,
+    _sort_orders,
+    _domains,
+    _derived_columns,
+    _order_consistency,
+    _orderdate_span,
+    _selectivities,
+]
+
+
+def validate(data: SsbData) -> List[CheckResult]:
+    """Run every check; returns all results (never raises)."""
+    return [check(data) for check in ALL_CHECKS]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ssb.validate",
+        description="Validate a generated SSB database.")
+    parser.add_argument("--sf", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    print(f"generating SSB at scale factor {args.sf} ...")
+    data = generate(args.sf, **kwargs)
+    results = validate(data)
+    failures = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        detail = f"  ({result.detail})" if result.detail else ""
+        print(f"  [{status}] {result.name}{detail}")
+        failures += not result.passed
+    print(f"{len(results) - failures}/{len(results)} checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

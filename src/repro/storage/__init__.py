@@ -1,0 +1,25 @@
+"""Storage formats shared by the two engines.
+
+In-memory representation:
+
+* :class:`~repro.storage.column.Column` — a typed vector (numpy-backed;
+  strings are dictionary-encoded with an explicit dictionary).
+* :class:`~repro.storage.table.Table` — named columns plus a schema and
+  optional sort-order metadata.
+
+On the simulated disk:
+
+* :mod:`~repro.storage.colfile` — column files: one compressed block per
+  page, the C-Store side's physical format.
+* :mod:`~repro.storage.rowpage` / :mod:`~repro.storage.heapfile` — slotted
+  pages of full tuples with per-tuple headers, the System X side's format.
+* :mod:`~repro.storage.encodings` — the compression codecs (RLE,
+  dictionary, bit-packing, delta) from Abadi et al. 2006.
+* :mod:`~repro.storage.projection` — C-Store projections (column groups
+  stored in a chosen sort order).
+"""
+
+from .column import Column, StringDictionary
+from .table import Table, SortOrder
+
+__all__ = ["Column", "StringDictionary", "Table", "SortOrder"]

@@ -1,0 +1,53 @@
+"""Column compression codecs (Abadi, Madden, Ferreira; SIGMOD 2006).
+
+The paper's compression ablation (the ``C``/``c`` flag of Figure 7) and the
+denormalization study (Figure 8) depend on these "lighter-weight" schemes
+that trade compression ratio for decode speed and, for RLE, support
+**direct operation on compressed data**:
+
+* :class:`~repro.storage.encodings.plain.PlainCodec` — values verbatim.
+* :class:`~repro.storage.encodings.rle.RleCodec` — run-length encoding;
+  dominant on sorted columns (the fact table's orderdate at SF 10
+  compresses to ~64 KB in the paper).
+* :class:`~repro.storage.encodings.bitpack.BitPackCodec` — fixed-width
+  minimal-bit packing for low-magnitude integers.
+* :class:`~repro.storage.encodings.delta.DeltaCodec` — deltas of sorted
+  runs, zig-zag coded then bit-packed.
+* :class:`~repro.storage.encodings.dictionary.DictionaryCodec` — per-block
+  value dictionary plus packed indices, for low-cardinality columns.
+
+:func:`~repro.storage.encodings.codec.choose_codec` performs the greedy
+smallest-output selection the engines use at load time.
+"""
+
+from .codec import (
+    Codec,
+    CodecId,
+    choose_codec,
+    codec_by_id,
+    decode_payload,
+    decode_payload_runs,
+    encoded_size,
+)
+from .plain import PlainCodec
+from .rle import RleCodec, runs_of
+from .bitpack import BitPackCodec, bits_needed
+from .delta import DeltaCodec
+from .dictionary import DictionaryCodec
+
+__all__ = [
+    "Codec",
+    "CodecId",
+    "choose_codec",
+    "codec_by_id",
+    "decode_payload",
+    "decode_payload_runs",
+    "encoded_size",
+    "PlainCodec",
+    "RleCodec",
+    "runs_of",
+    "BitPackCodec",
+    "bits_needed",
+    "DeltaCodec",
+    "DictionaryCodec",
+]

@@ -1,0 +1,74 @@
+"""Fixed-width bit packing for non-negative integers.
+
+Packs each value into the minimum number of bits that represents the
+block's maximum — the workhorse for foreign-key and dictionary-code
+columns, whose values are dense but smaller than their 4-byte container.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...errors import EncodingError
+from .codec import Codec, CodecId, pack_dtype, register, unpack_dtype
+
+
+def bits_needed(max_value: int) -> int:
+    """Bits required to store values in ``[0, max_value]`` (at least 1)."""
+    if max_value < 0:
+        raise EncodingError("bit packing requires non-negative values")
+    return max(1, int(max_value).bit_length())
+
+
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack ``values`` (non-negative) at ``bits`` bits per value."""
+    if len(values) == 0:
+        return b""
+    v = values.astype(np.uint64)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    bit_matrix = ((v[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel()).tobytes()
+
+
+def unpack_bits(payload: bytes, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`, returning uint64 values."""
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    flat = np.unpackbits(raw, count=count * bits)
+    bit_matrix = flat.reshape(count, bits).astype(np.uint64)
+    weights = (np.uint64(1) << np.arange(bits - 1, -1, -1, dtype=np.uint64))
+    return bit_matrix @ weights
+
+
+class BitPackCodec(Codec):
+    """Minimal-width packing of a non-negative integer block."""
+
+    codec_id = CodecId.BITPACK
+    name = "bitpack"
+
+    def can_encode(self, values: np.ndarray) -> bool:
+        if values.dtype.kind != "i":
+            return False
+        return len(values) == 0 or int(values.min()) >= 0
+
+    def encode(self, values: np.ndarray) -> bytes:
+        if not self.can_encode(values):
+            raise EncodingError("bitpack requires non-negative integers")
+        max_value = int(values.max()) if len(values) else 0
+        bits = bits_needed(max_value)
+        header = pack_dtype(values.dtype) + struct.pack("<IB", len(values), bits)
+        return header + pack_bits(values, bits)
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        dtype, offset = unpack_dtype(payload, 0)
+        count, bits = struct.unpack_from("<IB", payload, offset)
+        offset += 5
+        return unpack_bits(payload[offset:], count, bits).astype(dtype)
+
+
+BITPACK = register(BitPackCodec())
+
+__all__ = ["BitPackCodec", "BITPACK", "bits_needed", "pack_bits", "unpack_bits"]

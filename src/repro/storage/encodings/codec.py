@@ -1,0 +1,172 @@
+"""Codec base class, payload framing, registry, and auto-selection.
+
+Every codec turns a 1-D numpy array into ``bytes`` and back.  Payloads are
+self-describing: the first byte is the :class:`CodecId`, so a column file
+can mix codecs block-by-block (a block of a mostly-sorted column may be
+RLE while its neighbour is bit-packed).
+
+Codecs are stateless singletons; per-payload parameters (dtype, bit width,
+dictionary) live inside the payload itself.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import struct
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...errors import EncodingError
+
+_DTYPE_CODES = {
+    "i4": b"I",
+    "i8": b"L",
+}
+_CODE_DTYPES = {v: np.dtype(k) for k, v in _DTYPE_CODES.items()}
+
+
+def pack_dtype(dtype: np.dtype) -> bytes:
+    """One-byte tag for a supported dtype (int32/int64/fixed bytes)."""
+    if dtype.kind == "S":
+        # 'S' + 2-byte width
+        return b"S" + struct.pack("<H", dtype.itemsize)
+    key = f"{dtype.kind}{dtype.itemsize}"
+    try:
+        return _DTYPE_CODES[key]
+    except KeyError:
+        raise EncodingError(f"unsupported dtype {dtype}") from None
+
+
+def unpack_dtype(payload: bytes, offset: int) -> Tuple[np.dtype, int]:
+    """Inverse of :func:`pack_dtype`; returns (dtype, new offset)."""
+    tag = payload[offset:offset + 1]
+    if tag == b"S":
+        (width,) = struct.unpack_from("<H", payload, offset + 1)
+        return np.dtype(f"S{width}"), offset + 3
+    try:
+        return _CODE_DTYPES[tag], offset + 1
+    except KeyError:
+        raise EncodingError(f"unknown dtype tag {tag!r}") from None
+
+
+class CodecId(enum.IntEnum):
+    """Stable on-disk identifiers for each codec."""
+
+    PLAIN = 0
+    RLE = 1
+    BITPACK = 2
+    DELTA = 3
+    DICTIONARY = 4
+
+
+class Codec(abc.ABC):
+    """A compression scheme for one block of column values."""
+
+    codec_id: CodecId
+    name: str
+
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray) -> bytes:
+        """Encode ``values`` (excluding the codec-id framing byte)."""
+
+    @abc.abstractmethod
+    def decode(self, payload: bytes) -> np.ndarray:
+        """Decode a payload produced by :meth:`encode`."""
+
+    def can_encode(self, values: np.ndarray) -> bool:
+        """Whether this codec applies to ``values`` at all."""
+        return True
+
+    def frame(self, values: np.ndarray) -> bytes:
+        """Encode with the one-byte codec-id prefix used in column files."""
+        return bytes([int(self.codec_id)]) + self.encode(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<codec {self.name}>"
+
+
+_REGISTRY: Dict[int, Codec] = {}
+
+
+def register(codec: Codec) -> Codec:
+    """Add a codec singleton to the registry (module import side effect)."""
+    _REGISTRY[int(codec.codec_id)] = codec
+    return codec
+
+
+def codec_by_id(codec_id: int) -> Codec:
+    """Look up the codec for a framed payload's first byte."""
+    try:
+        return _REGISTRY[codec_id]
+    except KeyError:
+        raise EncodingError(f"unknown codec id {codec_id}") from None
+
+
+def decode_payload(framed: bytes) -> np.ndarray:
+    """Decode a framed payload (codec id byte + codec payload)."""
+    if not framed:
+        raise EncodingError("empty payload")
+    return codec_by_id(framed[0]).decode(framed[1:])
+
+
+def decode_payload_runs(framed: bytes) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """If the payload is RLE, return (run_values, run_lengths) without
+    expanding; otherwise None.  This is the hook for direct operation on
+    compressed data."""
+    if not framed:
+        raise EncodingError("empty payload")
+    codec = codec_by_id(framed[0])
+    runs = getattr(codec, "decode_runs", None)
+    if runs is None:
+        return None
+    return runs(framed[1:])
+
+
+def encoded_size(codec: Codec, values: np.ndarray) -> int:
+    """Framed byte size of ``values`` under ``codec``."""
+    return len(codec.frame(values))
+
+
+def choose_codec(values: np.ndarray, candidates: Optional[Tuple[Codec, ...]] = None
+                 ) -> Codec:
+    """Pick the codec with the smallest framed output for ``values``.
+
+    This is the load-time greedy selection C-Store performs per column
+    block.  The try-all strategy is affordable because blocks are small
+    and loading is not part of any measured query.
+    """
+    from .plain import PLAIN
+    from .rle import RLE
+    from .bitpack import BITPACK
+    from .delta import DELTA
+    from .dictionary import DICTIONARY
+
+    if candidates is None:
+        candidates = (PLAIN, RLE, BITPACK, DELTA, DICTIONARY)
+    best: Optional[Codec] = None
+    best_size = None
+    for codec in candidates:
+        if not codec.can_encode(values):
+            continue
+        size = encoded_size(codec, values)
+        if best_size is None or size < best_size:
+            best, best_size = codec, size
+    if best is None:
+        raise EncodingError(f"no codec can encode dtype {values.dtype}")
+    return best
+
+
+__all__ = [
+    "Codec",
+    "CodecId",
+    "register",
+    "codec_by_id",
+    "decode_payload",
+    "decode_payload_runs",
+    "encoded_size",
+    "choose_codec",
+    "pack_dtype",
+    "unpack_dtype",
+]

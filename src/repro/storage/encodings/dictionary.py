@@ -1,0 +1,62 @@
+"""Per-block dictionary encoding: distinct values + packed indices.
+
+Complementary to the table-level string dictionaries in
+:mod:`repro.storage.column`: this codec works on any integer block with
+few distinct values (e.g. a nation-code column inside the denormalized
+fact table of Figure 8), storing the distinct values once and bit-packing
+an index per row.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...errors import EncodingError
+from .codec import Codec, CodecId, pack_dtype, register, unpack_dtype
+from .bitpack import bits_needed, pack_bits, unpack_bits
+
+
+class DictionaryCodec(Codec):
+    """Distinct-value table plus bit-packed per-row indices."""
+
+    codec_id = CodecId.DICTIONARY
+    name = "dictionary"
+
+    def can_encode(self, values: np.ndarray) -> bool:
+        return values.dtype.kind == "i"
+
+    def encode(self, values: np.ndarray) -> bytes:
+        if not self.can_encode(values):
+            raise EncodingError(
+                f"dictionary codec cannot encode dtype {values.dtype}"
+            )
+        distinct, indices = np.unique(values, return_inverse=True)
+        bits = bits_needed(max(len(distinct) - 1, 0))
+        header = (
+            pack_dtype(values.dtype)
+            + struct.pack("<IIB", len(values), len(distinct), bits)
+        )
+        return (
+            header
+            + np.ascontiguousarray(distinct).tobytes()
+            + pack_bits(indices.astype(np.int64), bits)
+        )
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        dtype, offset = unpack_dtype(payload, 0)
+        count, ndistinct, bits = struct.unpack_from("<IIB", payload, offset)
+        offset += 9
+        distinct_end = offset + ndistinct * dtype.itemsize
+        distinct = np.frombuffer(payload[offset:distinct_end], dtype=dtype,
+                                 count=ndistinct)
+        indices = unpack_bits(payload[distinct_end:], count, bits).astype(np.intp)
+        if count and ndistinct == 0:
+            raise EncodingError("dictionary payload corrupt: no distinct values")
+        return distinct[indices] if count else np.zeros(0, dtype=dtype)
+
+
+DICTIONARY = register(DictionaryCodec())
+
+__all__ = ["DictionaryCodec", "DICTIONARY"]

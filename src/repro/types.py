@@ -1,0 +1,236 @@
+"""Column type system shared by the row and column engines.
+
+The SSB schema only needs a small set of types: 32/64-bit integers,
+fixed-point prices (stored as int64 cents in the generator, but the paper
+treats them as integers too), and strings.  Strings are always
+dictionary-encodable; the storage layer decides whether to materialize them
+as Python strings or keep integer codes.
+
+``ColumnType`` knows its width in bytes, which is what the simulated disk
+charges for.  Widths follow the paper's accounting: 4 bytes for an int32
+column value, 8 for int64, and the declared fixed width for CHAR(n)-style
+strings (SSB uses fixed-width text fields).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import SchemaError, TypeMismatchError
+
+
+class TypeKind(enum.Enum):
+    """Physical kind of a column."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A column's physical type.
+
+    Parameters
+    ----------
+    kind:
+        The :class:`TypeKind`.
+    width:
+        Fixed byte width of one value as stored uncompressed.  For strings
+        this is the CHAR(n) width from the SSB spec; for integers it is the
+        numpy itemsize.
+    """
+
+    kind: TypeKind
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise TypeMismatchError(f"column width must be positive, got {self.width}")
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind is TypeKind.STRING
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in (TypeKind.INT32, TypeKind.INT64)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used for in-memory vectors of this type.
+
+        String columns are held as dictionary codes (int32); the dictionary
+        itself lives beside the code vector.
+        """
+        if self.kind is TypeKind.INT32:
+            return np.dtype(np.int32)
+        if self.kind is TypeKind.INT64:
+            return np.dtype(np.int64)
+        return np.dtype(np.int32)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_string:
+            return f"STRING({self.width})"
+        return self.kind.value.upper()
+
+
+def int32() -> ColumnType:
+    """The 4-byte integer type."""
+    return ColumnType(TypeKind.INT32, 4)
+
+
+def int64() -> ColumnType:
+    """The 8-byte integer type."""
+    return ColumnType(TypeKind.INT64, 8)
+
+
+def string(width: int) -> ColumnType:
+    """A fixed-width string type of ``width`` bytes (CHAR(width))."""
+    return ColumnType(TypeKind.STRING, width)
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column within a schema."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("field name must be non-empty")
+
+
+class Schema:
+    """An ordered collection of :class:`Field` objects.
+
+    Provides O(1) name lookup and stable iteration order.  Immutable once
+    constructed; derivative schemas are built with :meth:`project` /
+    :meth:`concat`.
+    """
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        self._fields: Tuple[Field, ...] = tuple(fields)
+        self._index: Dict[str, int] = {}
+        for position, f in enumerate(self._fields):
+            if f.name in self._index:
+                raise SchemaError(f"duplicate field name {f.name!r}")
+            self._index[f.name] = position
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, ColumnType]) -> "Schema":
+        """Build a schema from (name, type) pairs."""
+        return cls([Field(name, ctype) for name, ctype in pairs])
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{f.name}: {f.ctype!r}" for f in self._fields)
+        return f"Schema({inner})"
+
+    @property
+    def names(self) -> List[str]:
+        """Field names in schema order."""
+        return [f.name for f in self._fields]
+
+    def field(self, name: str) -> Field:
+        """Return the field called ``name``; raise :class:`SchemaError` if absent."""
+        try:
+            return self._fields[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no field named {name!r} in {self.names}") from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no field named {name!r} in {self.names}") from None
+
+    def type_of(self, name: str) -> ColumnType:
+        """Return the :class:`ColumnType` of field ``name``."""
+        return self.field(name).ctype
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing only ``names``, in the given order."""
+        return Schema([self.field(n) for n in names])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Return a new schema with ``other``'s fields appended."""
+        return Schema(list(self._fields) + list(other._fields))
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Return a schema with fields renamed per ``mapping`` (others kept)."""
+        return Schema(
+            [Field(mapping.get(f.name, f.name), f.ctype) for f in self._fields]
+        )
+
+    @property
+    def row_width(self) -> int:
+        """Uncompressed byte width of one row under this schema."""
+        return sum(f.ctype.width for f in self._fields)
+
+
+# Tuple header accounting, per the paper's Section 6.2 ("about 8 bytes of
+# overhead per row" in System X) and Section 6.3.1 (column stores keep
+# headers in separate columns, i.e. zero bytes inline).
+ROW_TUPLE_HEADER_BYTES = 8
+RECORD_ID_BYTES = 4
+
+
+def validate_int_array(values: np.ndarray, ctype: ColumnType) -> np.ndarray:
+    """Coerce ``values`` to the dtype of ``ctype``, raising on overflow.
+
+    Used at ingestion boundaries so the storage layer can assume arrays are
+    already well-typed.
+    """
+    if not ctype.is_integer and not ctype.is_string:
+        raise TypeMismatchError(f"unsupported type {ctype!r}")
+    target = ctype.numpy_dtype
+    arr = np.asarray(values)
+    if arr.dtype == target:
+        return arr
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeMismatchError(
+            f"expected integer array for {ctype!r}, got dtype {arr.dtype}"
+        )
+    info = np.iinfo(target)
+    if arr.size and (arr.min() < info.min or arr.max() > info.max):
+        raise TypeMismatchError(
+            f"values out of range for {ctype!r}: [{arr.min()}, {arr.max()}]"
+        )
+    return arr.astype(target)
+
+
+__all__ = [
+    "TypeKind",
+    "ColumnType",
+    "Field",
+    "Schema",
+    "int32",
+    "int64",
+    "string",
+    "ROW_TUPLE_HEADER_BYTES",
+    "RECORD_ID_BYTES",
+    "validate_int_array",
+]

@@ -1,0 +1,40 @@
+"""Markdown report writer tests."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.markdown import write_report
+
+
+@pytest.fixture(scope="module")
+def document():
+    return write_report(Harness(scale_factor=0.005))
+
+
+def test_report_has_all_sections(document):
+    for title in ("Figure 5", "Figure 6", "Figure 7", "Figure 8",
+                  "Storage report"):
+        assert title in document
+
+
+def test_report_has_all_series(document):
+    for label in ("tICL", "Ticl", "T(B)", "VP", "AI", "CS (Row-MV)",
+                  "PJ, Max C"):
+        assert f"| {label} |" in document
+
+
+def test_report_mentions_scale(document):
+    assert "Scale factor **0.005**" in document
+    assert "30,000 fact rows" in document
+
+
+def test_report_is_valid_markdown_tables(document):
+    # every table row has a consistent pipe count within its table
+    lines = document.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("|---"):
+            width = line.count("|")
+            j = i + 1
+            while j < len(lines) and lines[j].startswith("|"):
+                assert lines[j].count("|") == width, lines[j]
+                j += 1

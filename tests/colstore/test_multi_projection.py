@@ -1,0 +1,63 @@
+"""Query-driven projection selection (the C-Store redundancy the paper
+forgoes in Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.colstore.engine import CStore
+from repro.reference import execute as ref_execute
+from repro.ssb import all_queries, query_by_name
+from repro.storage.colfile import CompressionLevel
+
+
+@pytest.fixture(scope="module")
+def redundant_store(ssb_data):
+    store = CStore(ssb_data, levels=[CompressionLevel.MAX])
+    store.add_projection("lineorder", ("custkey", "suppkey"))
+    return store
+
+
+def test_add_projection_registers_candidate(redundant_store):
+    candidates = redundant_store._context().candidates(
+        "lineorder", CompressionLevel.MAX)
+    assert len(candidates) == 2
+    assert candidates[0].sort_order.keys[0] == "orderdate"
+    assert candidates[1].sort_order.keys == ("custkey", "suppkey")
+
+
+def test_add_projection_idempotent(redundant_store):
+    redundant_store.add_projection("lineorder", ("custkey", "suppkey"))
+    assert len(redundant_store._context().candidates(
+        "lineorder", CompressionLevel.MAX)) == 2
+
+
+def test_selection_prefers_matching_sort_order(redundant_store):
+    ctx = redundant_store._context()
+    # Q3.1 restricts custkey (via customer) harder than orderdate
+    q3 = query_by_name("Q3.1")
+    chosen = ctx.best_projection("lineorder", CompressionLevel.MAX, q3)
+    assert chosen.sort_order.keys[0] == "custkey"
+    # flight 1 restricts orderdate/quantity/discount -> default projection
+    q1 = query_by_name("Q1.1")
+    chosen = ctx.best_projection("lineorder", CompressionLevel.MAX, q1)
+    assert chosen.sort_order.keys[0] == "orderdate"
+
+
+def test_results_identical_with_extra_projection(ssb_data, redundant_store):
+    for q in all_queries():
+        run = redundant_store.execute(q)
+        assert run.result.same_rows(ref_execute(ssb_data.tables, q)), q.name
+
+
+def test_extra_projection_speeds_up_customer_queries(ssb_data,
+                                                     redundant_store):
+    baseline = CStore(ssb_data, levels=[CompressionLevel.MAX])
+    q = query_by_name("Q3.2")  # selective customer predicate
+    with_extra = redundant_store.execute(q).seconds
+    without = baseline.execute(q).seconds
+    assert with_extra < without
+
+
+def test_extra_projection_costs_storage(ssb_data, redundant_store):
+    baseline = CStore(ssb_data, levels=[CompressionLevel.MAX])
+    assert redundant_store.storage_bytes() > 1.5 * baseline.storage_bytes()

@@ -1,0 +1,84 @@
+"""The sorted_binary_search extension: correctness and I/O savings."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.colstore.operators.scan import sorted_predicate_positions
+from repro.core.config import ExecutionConfig
+from repro.reference import execute as ref_execute
+from repro.simio.buffer_pool import BufferPool
+from repro.simio.disk import SimulatedDisk
+from repro.simio.stats import QueryStats
+from repro.ssb import all_queries, query_by_name
+from repro.storage.colfile import ColumnFile, CompressionLevel
+from repro.storage.column import Column
+from repro.types import int32
+
+BS = dataclasses.replace(ExecutionConfig.baseline(),
+                         sorted_binary_search=True)
+# invisible join on, compression off: the rewritten orderdate predicate
+# is the one the binary search accelerates
+BS_PLAIN = dataclasses.replace(ExecutionConfig.from_label("tIcL"),
+                               sorted_binary_search=True)
+
+
+def _sorted_colfile(values, level):
+    disk = SimulatedDisk(QueryStats())
+    col = Column.from_ints("v", np.sort(np.asarray(values,
+                                                   dtype=np.int32)), int32())
+    f = ColumnFile.load(disk, "c", col, level)
+    return f, BufferPool(disk, 8 * 1024 * 1024), col.data
+
+
+@pytest.mark.parametrize("level", [CompressionLevel.NONE,
+                                   CompressionLevel.MAX])
+@pytest.mark.parametrize("bounds", [(100, 5000), (0, 10**9), (-5, -1),
+                                    (99_999, 99_999), (50_000, 50_000)])
+def test_binary_search_matches_numpy(level, bounds):
+    rng = np.random.default_rng(3)
+    f, pool, data = _sorted_colfile(rng.integers(0, 100_000, 120_000), level)
+    config = BS if level is CompressionLevel.MAX else BS_PLAIN
+    out = sorted_predicate_positions(f, pool, bounds, config)
+    lo, hi = bounds
+    expected = np.flatnonzero((data >= lo) & (data <= hi))
+    assert out.count == len(expected)
+    if len(expected):
+        assert out.to_array().tolist() == expected.tolist()
+
+
+def test_binary_search_duplicates_spanning_blocks():
+    values = np.concatenate([np.zeros(50_000, np.int64),
+                             np.full(50_000, 7, np.int64),
+                             np.full(50_000, 9, np.int64)])
+    f, pool, data = _sorted_colfile(values, CompressionLevel.NONE)
+    out = sorted_predicate_positions(f, pool, (7, 7), BS_PLAIN)
+    assert out.count == 50_000
+    assert out.to_array()[0] == 50_000
+
+
+def test_binary_search_reads_fewer_pages():
+    rng = np.random.default_rng(5)
+    f, pool, _data = _sorted_colfile(rng.integers(0, 10**6, 400_000),
+                                     CompressionLevel.NONE)
+    pool.clear()
+    pool.stats.reset()
+    sorted_predicate_positions(f, pool, (500_000, 501_000), BS_PLAIN)
+    assert pool.stats.pages_read < f.num_blocks // 3
+
+
+def test_all_queries_correct_with_binary_search(ssb_data, cstore):
+    for q in all_queries():
+        run = cstore.execute(q, BS)
+        assert run.result.same_rows(ref_execute(ssb_data.tables, q)), q.name
+
+
+def test_binary_search_helps_uncompressed_flight1(cstore):
+    q = query_by_name("Q1.1")
+    plain = cstore.execute(q, ExecutionConfig.from_label("tIcL"))
+    searched = cstore.execute(q, BS_PLAIN)
+    assert searched.result.same_rows(plain.result)
+    # orderdate is no longer scanned in full
+    assert searched.stats.bytes_read < plain.stats.bytes_read
+    assert searched.seconds < plain.seconds

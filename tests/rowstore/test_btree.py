@@ -1,0 +1,129 @@
+"""B+Tree unit and property tests: bulk load, scans, duplicates,
+composite keys, structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.rowstore.btree import BPlusTree
+from repro.simio.buffer_pool import BufferPool
+from repro.simio.disk import SimulatedDisk
+from repro.simio.stats import QueryStats
+
+
+def _build(keys, secondary=None, fill=0.67):
+    disk = SimulatedDisk(QueryStats())
+    keys = np.asarray(keys, dtype=np.int64)
+    rids = np.arange(len(keys), dtype=np.int32)
+    tree = BPlusTree.build(disk, "idx", keys, rids, secondary=secondary,
+                           fill_factor=fill)
+    return tree, BufferPool(disk, 1024 * 1024 * 16)
+
+
+def _range_rids(tree, pool, lo, hi):
+    out = []
+    for leaf in tree.range_scan(pool, lo, hi):
+        out.extend(leaf.rids.tolist())
+    return sorted(out)
+
+
+def test_empty_tree():
+    tree, pool = _build([])
+    assert tree.num_entries == 0
+    assert list(tree.range_scan(pool, 0, 10)) == []
+    assert tree.lookup(pool, 5).tolist() == []
+    assert tree.verify(pool)
+
+
+def test_single_leaf():
+    tree, pool = _build([5, 3, 9])
+    assert tree.height == 1
+    assert tree.lookup(pool, 3).tolist() == [1]
+    assert _range_rids(tree, pool, 3, 5) == [0, 1]
+
+
+def test_multi_level_full_scan():
+    n = 100_000
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 10_000, n)
+    tree, pool = _build(keys)
+    assert tree.height >= 2
+    scanned = np.concatenate([leaf.keys for leaf in tree.scan_leaves(pool)])
+    assert len(scanned) == n
+    assert np.all(np.diff(scanned) >= 0)
+    assert tree.verify(pool)
+
+
+def test_range_scan_matches_numpy():
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 500, 20_000)
+    tree, pool = _build(keys)
+    for lo, hi in ((0, 0), (10, 20), (499, 499), (450, 600), (-5, 3)):
+        expected = sorted(np.flatnonzero((keys >= lo) & (keys <= hi))
+                          .tolist())
+        assert _range_rids(tree, pool, lo, hi) == expected
+
+
+def test_duplicate_run_spanning_leaves():
+    # one value repeated enough to span several leaves
+    keys = np.concatenate([np.zeros(10, np.int64),
+                           np.full(20_000, 7, np.int64),
+                           np.full(10, 9, np.int64)])
+    tree, pool = _build(keys)
+    assert tree.num_leaves > 3
+    assert len(tree.lookup(pool, 7)) == 20_000
+    assert len(tree.lookup(pool, 0)) == 10
+    assert len(tree.lookup(pool, 9)) == 10
+    assert len(tree.lookup(pool, 8)) == 0
+
+
+def test_composite_secondary_key():
+    keys = np.array([3, 1, 2, 1], dtype=np.int64)
+    secondary = np.array([30, 11, 20, 10], dtype=np.int64)
+    tree, pool = _build(keys, secondary=secondary)
+    leaves = list(tree.range_scan(pool, 1, 1))
+    got_secondary = np.concatenate([b.secondary for b in leaves])
+    assert got_secondary.tolist() == [10, 11]  # secondary-sorted
+
+
+def test_bad_fill_factor():
+    disk = SimulatedDisk(QueryStats())
+    with pytest.raises(StorageError):
+        BPlusTree.build(disk, "x", np.array([1]), np.array([0]),
+                        fill_factor=0.01)
+
+
+def test_mismatched_lengths():
+    disk = SimulatedDisk(QueryStats())
+    with pytest.raises(StorageError):
+        BPlusTree.build(disk, "x", np.array([1, 2]), np.array([0]))
+
+
+def test_fill_factor_inflates_size():
+    keys = np.arange(50_000, dtype=np.int64)
+    t_full, _ = _build(keys, fill=1.0)
+    t_loose, _ = _build(keys, fill=0.5)
+    assert t_loose.num_pages > t_full.num_pages
+
+
+def test_index_scan_charges_io():
+    keys = np.arange(50_000, dtype=np.int64)
+    tree, pool = _build(keys)
+    pool.stats.reset()
+    list(tree.scan_leaves(pool))
+    assert pool.stats.pages_read == tree.num_leaves
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=400),
+       st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=0, max_value=500))
+@settings(max_examples=50, deadline=None)
+def test_property_range_scan(keys_list, lo, span):
+    hi = lo + span
+    keys = np.asarray(keys_list, dtype=np.int64)
+    tree, pool = _build(keys)
+    expected = sorted(np.flatnonzero((keys >= lo) & (keys <= hi)).tolist())
+    assert _range_rids(tree, pool, lo, hi) == expected
+    assert tree.verify(pool)

@@ -1,0 +1,122 @@
+"""Physical design construction and partition pruning tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.rowstore.designs import (
+    BITMAPPED_FACT_COLUMNS,
+    DesignKind,
+    mv_columns_for_flight,
+)
+from repro.rowstore.partitioning import (
+    partition_by_year,
+    qualifying_years,
+    year_of_datekey,
+)
+from repro.ssb.queries import query_by_name
+from repro.ssb.schema import NUM_YEARS
+
+
+def test_year_of_datekey():
+    keys = np.array([19920101, 19981230])
+    assert year_of_datekey(keys).tolist() == [1992, 1998]
+
+
+def test_partition_by_year(ssb_data):
+    parts = partition_by_year(ssb_data.lineorder)
+    assert set(parts) <= set(range(1992, 1999))
+    assert sum(p.num_rows for p in parts.values()) == \
+        ssb_data.lineorder.num_rows
+    for year, part in parts.items():
+        years = year_of_datekey(part.column("orderdate").data)
+        assert np.all(years == year)
+        # parent sort order preserved inside each partition
+        assert np.all(np.diff(part.column("orderdate").data) >= 0)
+
+
+def test_qualifying_years_single_year(ssb_data):
+    years = list(range(1992, 1999))
+    q = query_by_name("Q1.1")  # d.year = 1993
+    assert qualifying_years(ssb_data.date, q, years) == [1993]
+
+
+def test_qualifying_years_range(ssb_data):
+    years = list(range(1992, 1999))
+    q = query_by_name("Q3.1")  # 1992..1997
+    assert qualifying_years(ssb_data.date, q, years) == list(range(1992, 1998))
+
+
+def test_qualifying_years_no_date_predicate(ssb_data):
+    years = list(range(1992, 1999))
+    q = query_by_name("Q2.1")
+    assert qualifying_years(ssb_data.date, q, years) == years
+
+
+def test_qualifying_years_yearmonth(ssb_data):
+    years = list(range(1992, 1999))
+    q = query_by_name("Q3.4")  # Dec1997
+    assert qualifying_years(ssb_data.date, q, years) == [1997]
+
+
+def test_mv_columns_per_flight():
+    assert mv_columns_for_flight(1) == [
+        "discount", "quantity", "orderdate", "extendedprice"]
+    assert set(mv_columns_for_flight(2)) == {
+        "partkey", "suppkey", "orderdate", "revenue"}
+    assert set(mv_columns_for_flight(4)) == {
+        "custkey", "suppkey", "partkey", "orderdate", "revenue",
+        "supplycost"}
+    with pytest.raises(PlanError):
+        mv_columns_for_flight(9)
+
+
+def test_artifacts_built(system_x):
+    art = system_x.artifacts
+    # dimensions always present
+    for dim in ("customer", "supplier", "part", "date"):
+        assert dim in art.heaps
+    # traditional: one partition per year
+    assert len(art.fact_partitions) == NUM_YEARS
+    # bitmap design artifacts
+    assert set(art.bitmaps) == set(BITMAPPED_FACT_COLUMNS)
+    assert "lineorder" in art.heaps
+    # vertical partitioning: one heap per fact column
+    assert len(art.vp_heaps) == 17
+    # index-only: fact + dimension B+Trees
+    fact_trees = [k for k in art.btrees if k[0] == "lineorder"]
+    assert len(fact_trees) == 17
+    assert ("customer", "region") in art.btrees
+    assert art.total_bytes() > 0
+
+
+def test_vp_heap_carries_position_and_overhead(system_x, ssb_data):
+    heap = system_x.artifacts.vp_heaps["quantity"]
+    # 8-byte header + 4-byte position + 4-byte value
+    assert heap.fmt.record_width == 16
+    assert heap.num_rows == ssb_data.lineorder.num_rows
+
+
+def test_dimension_attr_indexes_have_composite_keys(system_x):
+    tree = system_x.artifacts.btrees[("customer", "region")]
+    assert tree.has_secondary
+    key_tree = system_x.artifacts.btrees[("customer", "custkey")]
+    assert not key_tree.has_secondary
+
+
+def test_execute_unbuilt_design_raises(ssb_data):
+    from repro.rowstore.engine import SystemX
+
+    engine = SystemX(ssb_data, designs=[DesignKind.TRADITIONAL])
+    with pytest.raises(PlanError):
+        engine.execute(query_by_name("Q1.1"), DesignKind.INDEX_ONLY)
+
+
+def test_partition_pruning_reduces_io(system_x):
+    q = query_by_name("Q1.1")
+    pruned = system_x.execute(q, DesignKind.TRADITIONAL)
+    full = system_x.execute(q, DesignKind.TRADITIONAL,
+                            prune_partitions=False)
+    assert pruned.result.same_rows(full.result)
+    assert pruned.stats.bytes_read < full.stats.bytes_read / 3
+    assert pruned.seconds < full.seconds

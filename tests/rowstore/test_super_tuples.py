@@ -1,0 +1,61 @@
+"""Super-tuple vertical partitioning (Halverson et al.; the paper's
+conclusion list of row-store improvements)."""
+
+import pytest
+
+from repro.core.config import ExecutionConfig
+from repro.reference import execute as ref_execute
+from repro.rowstore.designs import DesignKind
+from repro.ssb import all_queries, query_by_name
+
+
+def test_super_tuple_results_match_oracle(ssb_data, system_x):
+    for q in all_queries():
+        run = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                               vp_super_tuples=True, vp_join="merge")
+        assert run.result.same_rows(ref_execute(ssb_data.tables, q)), q.name
+
+
+def test_super_tuple_storage_is_lean(system_x):
+    # force the lazy build
+    system_x.execute(query_by_name("Q1.1"),
+                     DesignKind.VERTICAL_PARTITIONING,
+                     vp_super_tuples=True)
+    heaps = system_x.artifacts.vp_super_heaps
+    assert len(heaps) == 17
+    quantity = heaps["quantity"]
+    # 4 bytes per value: no header, no explicit position
+    assert quantity.fmt.record_width == 4
+    plain_vp = system_x.artifacts.vp_heaps["quantity"]
+    assert quantity.size_bytes < plain_vp.size_bytes / 3
+
+
+def test_super_tuples_remove_row_overheads(system_x):
+    q = query_by_name("Q2.1")
+    plain = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING)
+    sup = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                           vp_super_tuples=True, vp_join="merge")
+    # 4x fewer bytes per value...
+    assert sup.stats.bytes_read < 0.5 * plain.stats.bytes_read
+    # ...and block-at-a-time fact scans: the per-tuple costs that remain
+    # come from dimension heaps and probe-side joins, not fact columns
+    assert sup.stats.block_calls > 0
+    assert sup.stats.iterator_calls < 0.5 * plain.stats.iterator_calls
+    assert sup.stats.tuple_bytes_scanned < \
+        0.2 * plain.stats.tuple_bytes_scanned
+    assert sup.seconds < plain.seconds
+
+
+def test_super_tuples_close_on_naive_column_store(system_x, cstore):
+    """Halverson et al.'s claim reproduces: super tuples make vertical
+    partitioning competitive with a *naive* column store (here: C-Store
+    with compression, LM, invisible join, and block iteration removed is
+    the closest analogue) — while full C-Store stays far ahead, the
+    paper's rebuttal."""
+    q = query_by_name("Q2.1")
+    sup = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                           vp_super_tuples=True, vp_join="merge").seconds
+    naive_cs = cstore.execute(q, ExecutionConfig.from_label("ticL")).seconds
+    full_cs = cstore.execute(q).seconds
+    assert sup < 3 * naive_cs        # competitive with naive columns
+    assert sup > 2 * full_cs         # not with the real thing

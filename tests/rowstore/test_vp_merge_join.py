@@ -1,0 +1,49 @@
+"""The merge-join variant of vertical partitioning's position joins
+(the 'merge join without a sort' of Section 6.2.2)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.reference import execute as ref_execute
+from repro.rowstore.designs import DesignKind
+from repro.ssb import all_queries, query_by_name
+
+
+def test_merge_join_results_match_oracle(ssb_data, system_x):
+    for q in all_queries():
+        run = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                               vp_join="merge")
+        assert run.result.same_rows(ref_execute(ssb_data.tables, q)), q.name
+
+
+def test_merge_join_avoids_hash_work(system_x):
+    q = query_by_name("Q2.1")
+    hash_run = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                                vp_join="hash")
+    merge_run = system_x.execute(q, DesignKind.VERTICAL_PARTITIONING,
+                                 vp_join="merge")
+    # the position joins stop building/probing hash tables...
+    assert merge_run.stats.hash_inserts < hash_run.stats.hash_inserts / 2
+    assert merge_run.stats.hash_probes < hash_run.stats.hash_probes
+    # ...and stop spilling
+    assert merge_run.stats.bytes_written == 0
+    assert merge_run.seconds < hash_run.seconds
+
+
+def test_merge_join_still_loses_to_traditional(system_x):
+    """Even with the merge join the paper wished for, VP's 16-byte
+    per-value footprint keeps it behind the traditional design."""
+    totals = {"merge": 0.0, "t": 0.0}
+    for name in ("Q2.1", "Q4.1"):
+        q = query_by_name(name)
+        totals["merge"] += system_x.execute(
+            q, DesignKind.VERTICAL_PARTITIONING, vp_join="merge").seconds
+        totals["t"] += system_x.execute(q, DesignKind.TRADITIONAL).seconds
+    assert totals["merge"] > totals["t"]
+
+
+def test_bad_vp_join_rejected(system_x):
+    with pytest.raises(PlanError):
+        system_x.execute(query_by_name("Q2.1"),
+                         DesignKind.VERTICAL_PARTITIONING,
+                         vp_join="sideways")

@@ -1,0 +1,189 @@
+"""Simulated disk, buffer pool, and cost model tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.simio.buffer_pool import BufferPool
+from repro.simio.disk import PAGE_SIZE, SimulatedDisk
+from repro.simio.stats import CostModel, QueryStats
+
+
+# --------------------------------------------------------------------- #
+# disk
+# --------------------------------------------------------------------- #
+def test_create_and_read(disk):
+    disk.create("f")
+    page_no = disk.append_page("f", b"hello")
+    assert page_no == 0
+    assert disk.read_page("f", 0) == b"hello"
+    assert disk.stats.bytes_read == PAGE_SIZE
+    assert disk.stats.bytes_written == PAGE_SIZE
+
+
+def test_duplicate_create_rejected(disk):
+    disk.create("f")
+    with pytest.raises(StorageError):
+        disk.create("f")
+
+
+def test_missing_file_rejected(disk):
+    with pytest.raises(StorageError):
+        disk.file("nope")
+
+
+def test_oversized_page_rejected(disk):
+    disk.create("f")
+    with pytest.raises(StorageError):
+        disk.append_page("f", b"x" * (PAGE_SIZE + 1))
+
+
+def test_out_of_range_page_rejected(disk):
+    disk.create("f")
+    disk.append_page("f", b"a")
+    with pytest.raises(StorageError):
+        disk.read_page("f", 1)
+
+
+def test_sequential_scan_charges_one_seek(disk):
+    disk.create("f")
+    for i in range(10):
+        disk.append_page("f", bytes([i]))
+    disk.reset_head()
+    list(disk.scan_pages("f"))
+    assert disk.stats.seeks == 1
+    assert disk.stats.pages_read == 10
+
+
+def test_random_access_charges_seeks(disk):
+    disk.create("f")
+    for i in range(10):
+        disk.append_page("f", bytes([i]))
+    disk.reset_head()
+    disk.read_page("f", 7)
+    disk.read_page("f", 2)
+    disk.read_page("f", 3)  # adjacent to previous -> no new seek
+    assert disk.stats.seeks == 2
+
+
+def test_interleaved_files_seek(disk):
+    disk.create("a")
+    disk.create("b")
+    disk.append_page("a", b"1")
+    disk.append_page("b", b"2")
+    disk.reset_head()
+    disk.read_page("a", 0)
+    disk.read_page("b", 0)
+    disk.read_page("a", 0)
+    assert disk.stats.seeks == 3
+
+
+def test_drop_and_total_bytes(disk):
+    disk.create("f")
+    disk.append_page("f", b"x")
+    assert disk.total_bytes == PAGE_SIZE
+    disk.drop("f")
+    assert disk.total_bytes == 0
+    assert not disk.exists("f")
+
+
+# --------------------------------------------------------------------- #
+# buffer pool
+# --------------------------------------------------------------------- #
+def _fill(disk, name, pages):
+    disk.create(name)
+    for i in range(pages):
+        disk.append_page(name, bytes([i % 251]))
+
+
+def test_pool_hit_is_free(disk):
+    _fill(disk, "f", 3)
+    pool = BufferPool(disk, capacity_bytes=PAGE_SIZE * 8)
+    before = disk.stats.bytes_read
+    pool.read_page("f", 0)
+    assert disk.stats.bytes_read == before + PAGE_SIZE
+    pool.read_page("f", 0)
+    assert disk.stats.bytes_read == before + PAGE_SIZE
+    assert disk.stats.buffer_hits == 1
+
+
+def test_pool_lru_eviction(disk):
+    _fill(disk, "f", 4)
+    pool = BufferPool(disk, capacity_bytes=PAGE_SIZE * 2)
+    pool.read_page("f", 0)
+    pool.read_page("f", 1)
+    pool.read_page("f", 2)  # evicts page 0
+    before_hits = disk.stats.buffer_hits
+    pool.read_page("f", 1)  # hit
+    assert disk.stats.buffer_hits == before_hits + 1
+    pool.read_page("f", 0)  # miss again
+    assert disk.stats.buffer_hits == before_hits + 1
+
+
+def test_pool_warm_is_uncharged(disk):
+    _fill(disk, "f", 3)
+    pool = BufferPool(disk, capacity_bytes=PAGE_SIZE * 8)
+    pool.warm("f")
+    assert disk.stats.bytes_read == 0
+    pool.read_page("f", 1)
+    assert disk.stats.buffer_hits == 1
+
+
+def test_pool_invalidate(disk):
+    _fill(disk, "f", 2)
+    pool = BufferPool(disk, capacity_bytes=PAGE_SIZE * 8)
+    pool.read_page("f", 0)
+    pool.invalidate("f")
+    before = disk.stats.buffer_hits
+    pool.read_page("f", 0)
+    assert disk.stats.buffer_hits == before
+
+
+def test_pool_too_small_rejected(disk):
+    with pytest.raises(StorageError):
+        BufferPool(disk, capacity_bytes=100)
+
+
+# --------------------------------------------------------------------- #
+# stats / cost model
+# --------------------------------------------------------------------- #
+def test_stats_merge_and_reset():
+    a = QueryStats(bytes_read=10, hash_probes=5)
+    b = QueryStats(bytes_read=1, iterator_calls=2)
+    a.merge(b)
+    assert a.bytes_read == 11
+    assert a.iterator_calls == 2
+    a.reset()
+    assert all(v == 0 for v in a.snapshot().values())
+
+
+def test_stats_diff():
+    a = QueryStats(bytes_read=10)
+    snap = a.snapshot()
+    a.bytes_read += 7
+    a.seeks += 2
+    d = a.diff(snap)
+    assert d.bytes_read == 7
+    assert d.seeks == 2
+
+
+def test_cost_model_io():
+    model = CostModel(seq_mbps=100.0, seek_seconds=0.01)
+    stats = QueryStats(bytes_read=100 * 1024 * 1024, seeks=3)
+    assert model.io_seconds(stats) == pytest.approx(1.0 + 0.03)
+
+
+def test_cost_model_cpu_additive():
+    model = CostModel()
+    stats = QueryStats(hash_probes=1000)
+    only_probes = model.cpu_seconds(stats)
+    stats.values_scanned_vector = 1000
+    assert model.cpu_seconds(stats) > only_probes
+
+
+def test_cost_breakdown_total():
+    model = CostModel()
+    stats = QueryStats(bytes_read=1024, iterator_calls=10)
+    cost = model.cost(stats)
+    assert cost.total_seconds == pytest.approx(
+        cost.io_seconds + cost.cpu_seconds)
+    assert model.seconds(stats) == pytest.approx(cost.total_seconds)

@@ -1,0 +1,84 @@
+"""IR -> SQL -> IR round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.plan.logical import (
+    AggExpr,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    OrderKey,
+    StarQuery,
+)
+from repro.reference import execute as ref_execute
+from repro.sql import parse_query
+from repro.sql.render import render
+from repro.ssb import all_queries
+
+
+def _equivalent(a: StarQuery, b: StarQuery) -> bool:
+    return (
+        a.fact_table == b.fact_table
+        and a.joins == b.joins
+        and set(a.predicates) == set(b.predicates)
+        and a.group_by == b.group_by
+        and a.aggregates == b.aggregates
+        and a.order_by == b.order_by
+        and a.limit == b.limit
+        and {d: a.key_of(d) for d in a.joins.values()}
+        == {d: b.key_of(d) for d in b.joins.values()}
+    )
+
+
+@pytest.mark.parametrize("query", all_queries(), ids=lambda q: q.name)
+def test_ssb_queries_roundtrip(query):
+    sql = render(query)
+    back = parse_query(sql, name=query.name)
+    assert _equivalent(query, back), sql
+
+
+def test_roundtrip_executes_identically(ssb_data):
+    for query in all_queries()[:4]:
+        back = parse_query(render(query))
+        assert ref_execute(ssb_data.tables, back).same_rows(
+            ref_execute(ssb_data.tables, query))
+
+
+def test_render_limit_and_quotes():
+    q = StarQuery(
+        name="q",
+        fact_table="lineorder",
+        joins={"suppkey": "supplier"},
+        predicates=(Comparison(ColumnRef("supplier", "name"),
+                               CompareOp.EQ, "it's"),),
+        group_by=(ColumnRef("supplier", "nation"),),
+        aggregates=(AggExpr("max", ColumnRef("lineorder", "revenue"),
+                            "top"),),
+        order_by=(OrderKey("top", ascending=False),),
+        limit=5,
+    )
+    sql = render(q)
+    assert "LIMIT 5" in sql
+    assert "'it''s'" in sql
+    back = parse_query(sql)
+    assert _equivalent(q, back)
+
+
+def test_render_fuzzed_queries(ssb_data):
+    """Random fuzz-generated IR renders and re-parses equivalently."""
+    from hypothesis import given, settings, HealthCheck
+    from hypothesis import strategies as st
+
+    from tests.integration.test_query_fuzzing import star_queries
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def run(data):
+        query = data.draw(star_queries(ssb_data))
+        back = parse_query(render(query), name=query.name)
+        assert _equivalent(query, back)
+
+    run()

@@ -1,0 +1,59 @@
+"""The SSB dataset cache round-trips bit-identically."""
+
+import numpy as np
+import pytest
+
+from repro.ssb.cache import cache_key, load, load_or_generate, save
+from repro.ssb.generator import generate
+
+
+@pytest.fixture(scope="module")
+def small():
+    return generate(0.004, seed=99)
+
+
+def test_roundtrip(tmp_path, small):
+    save(small, tmp_path)
+    loaded = load(0.004, 99, tmp_path)
+    assert loaded is not None
+    assert loaded.scale_factor == small.scale_factor
+    assert loaded.seed == small.seed
+    for name, table in small.tables.items():
+        other = loaded.table(name)
+        assert other.sort_order.keys == table.sort_order.keys
+        for col in table.columns():
+            got = other.column(col.name)
+            assert np.array_equal(got.data, col.data), (name, col.name)
+            if col.dictionary is not None:
+                assert got.dictionary == col.dictionary
+
+
+def test_miss_returns_none(tmp_path):
+    assert load(0.5, 123, tmp_path) is None
+
+
+def test_corrupt_cache_is_a_miss(tmp_path, small):
+    save(small, tmp_path)
+    sidecar = tmp_path / (cache_key(0.004, 99) + ".json")
+    sidecar.write_text("{not json")
+    assert load(0.004, 99, tmp_path) is None
+
+
+def test_load_or_generate_populates(tmp_path):
+    data = load_or_generate(0.004, seed=99, cache_dir=tmp_path)
+    assert (tmp_path / (cache_key(0.004, 99) + ".npz")).exists()
+    again = load_or_generate(0.004, seed=99, cache_dir=tmp_path)
+    assert np.array_equal(again.lineorder.column("custkey").data,
+                          data.lineorder.column("custkey").data)
+
+
+def test_load_or_generate_without_cache_dir(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    data = load_or_generate(0.004, seed=99)
+    assert data.lineorder.num_rows == 24_000
+
+
+def test_env_var_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    load_or_generate(0.004, seed=99)
+    assert (tmp_path / (cache_key(0.004, 99) + ".npz")).exists()

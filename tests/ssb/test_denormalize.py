@@ -1,0 +1,66 @@
+"""Denormalization (Figure 8 substrate) tests."""
+
+import numpy as np
+import pytest
+
+from repro.reference import execute as ref_execute
+from repro.ssb import all_queries, query_by_name
+from repro.ssb.denormalize import (
+    DENORM_ATTRIBUTES,
+    DENORM_TABLE,
+    denorm_column_name,
+    denormalize,
+    rewrite_query,
+)
+
+
+@pytest.fixture(scope="module")
+def wide(ssb_data):
+    return denormalize(ssb_data)
+
+
+def test_wide_table_shape(ssb_data, wide):
+    n_extra = sum(len(attrs) for attrs in DENORM_ATTRIBUTES.values())
+    assert wide.name == DENORM_TABLE
+    assert wide.num_rows == ssb_data.lineorder.num_rows
+    assert len(wide.schema) == 17 + n_extra
+
+
+def test_wide_values_match_join(ssb_data, wide):
+    lo = ssb_data.lineorder
+    cust = ssb_data.customer
+    fk = lo.column("custkey").data
+    regions = wide.column(denorm_column_name("customer", "region"))
+    for i in (0, 17, wide.num_rows - 1):
+        expected = cust.row(int(fk[i]) - 1)["region"]
+        assert regions.value_at(i) == expected
+
+
+def test_wide_date_year(ssb_data, wide):
+    years = wide.column(denorm_column_name("date", "year")).data
+    orderdate = ssb_data.lineorder.column("orderdate").data
+    assert np.array_equal(years, orderdate // 10000)
+
+
+def test_rewrite_has_no_joins():
+    for q in all_queries():
+        d = rewrite_query(q)
+        assert d.joins == {}
+        assert d.fact_table == DENORM_TABLE
+        assert all(p.table == DENORM_TABLE for p in d.predicates)
+        assert all(g.table == DENORM_TABLE for g in d.group_by)
+
+
+def test_rewrite_order_by_renamed():
+    d = rewrite_query(query_by_name("Q2.1"))
+    keys = [k.key for k in d.order_by]
+    assert keys == ["date_year", "part_brand1"]
+
+
+def test_rewritten_queries_equal_originals(ssb_data, wide):
+    tables = dict(ssb_data.tables)
+    tables[DENORM_TABLE] = wide
+    for q in all_queries():
+        original = ref_execute(ssb_data.tables, q)
+        denormed = ref_execute(tables, rewrite_query(q))
+        assert original.same_rows(denormed), q.name

@@ -1,0 +1,177 @@
+"""SSB generator invariants: sizing, domains, key contiguity, sort
+orders, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.ssb import generate
+from repro.ssb import schema as sp
+from repro.ssb.generator import DEFAULT_SEED
+
+
+def test_table_sizes_formula():
+    sizes = sp.table_sizes(1.0)
+    assert sizes["lineorder"] == 6_000_000
+    assert sizes["customer"] == 30_000
+    assert sizes["supplier"] == 2_000
+    assert sizes["part"] == 200_000
+    assert sizes["date"] == 365 * 7
+    assert sp.table_sizes(4.0)["part"] == 200_000 * 3  # 1 + log2(4)
+    with pytest.raises(ValueError):
+        sp.table_sizes(0)
+
+
+def test_sub_one_sf_prorates():
+    sizes = sp.table_sizes(0.01)
+    assert sizes["lineorder"] == 60_000
+    assert sizes["part"] >= len(sp.BRANDS)
+    assert sizes["customer"] >= len(sp.ALL_CITIES)
+
+
+def test_geography_domains():
+    assert len(sp.REGIONS) == 5
+    assert len(sp.NATIONS) == 25
+    assert len(sp.ALL_CITIES) == 250
+    for nation, region in sp.NATION_REGION.items():
+        assert region in sp.REGIONS
+    # 5 nations per region
+    from collections import Counter
+
+    counts = Counter(sp.NATION_REGION.values())
+    assert all(v == 5 for v in counts.values())
+
+
+def test_city_naming():
+    assert sp.city_name("UNITED KINGDOM", 1) == "UNITED KI1"
+    assert sp.city_name("PERU", 3) == "PERU     3"
+    assert all(len(c) == 10 for c in sp.ALL_CITIES)
+
+
+def test_brand_rollup():
+    assert len(sp.MFGRS) == 5
+    assert len(sp.CATEGORIES) == 25
+    assert len(sp.BRANDS) == 1000
+    assert "MFGR#2221" in sp.BRANDS
+    # brand embeds category embeds mfgr
+    for brand in sp.BRANDS[:50]:
+        assert brand[:7] in sp.CATEGORIES
+        assert brand[:6] in sp.MFGRS
+
+
+def test_row_counts(ssb_data):
+    sizes = sp.table_sizes(0.01)
+    for name, table in ssb_data.tables.items():
+        assert table.num_rows == sizes[name], name
+
+
+def test_dimension_keys_contiguous(ssb_data):
+    for name in ("customer", "supplier", "part"):
+        table = ssb_data.table(name)
+        key_col = table.columns()[0]
+        assert np.array_equal(
+            key_col.data, np.arange(1, table.num_rows + 1, dtype=np.int32))
+
+
+def test_dimension_sorted_by_hierarchy(ssb_data):
+    for name, keys in sp.DIMENSION_SORT_KEYS.items():
+        table = ssb_data.table(name)
+        assert table.sort_order.keys == keys
+        assert table.verify_sorted(), name
+
+
+def test_fact_sorted(ssb_data):
+    assert ssb_data.lineorder.sort_order.keys == sp.FACT_SORT_KEYS
+    assert ssb_data.lineorder.verify_sorted()
+
+
+def test_fact_fk_ranges(ssb_data):
+    lo = ssb_data.lineorder
+    for fk, (dim_name, key_col) in sp.FOREIGN_KEYS.items():
+        fk_values = lo.column(fk).data
+        dim_keys = ssb_data.table(dim_name).column(key_col).data
+        assert np.isin(fk_values, dim_keys).all(), fk
+
+
+def test_orderdate_distinct_values(ssb_data):
+    distinct = np.unique(ssb_data.lineorder.column("orderdate").data)
+    # orders span the first NUM_ORDER_DATES days of the calendar
+    assert len(distinct) <= sp.NUM_ORDER_DATES
+    assert len(distinct) > sp.NUM_ORDER_DATES * 0.95
+
+
+def test_fact_value_domains(ssb_data):
+    lo = ssb_data.lineorder
+    q = lo.column("quantity").data
+    assert q.min() >= 1 and q.max() <= 50
+    d = lo.column("discount").data
+    assert d.min() >= 0 and d.max() <= 10
+    t = lo.column("tax").data
+    assert t.min() >= 0 and t.max() <= 8
+    rev = lo.column("revenue").data.astype(np.int64)
+    ep = lo.column("extendedprice").data.astype(np.int64)
+    assert np.array_equal(rev, ep * (100 - d) // 100)
+
+
+def test_orders_share_attributes(ssb_data):
+    lo = ssb_data.lineorder
+    orderkey = lo.column("orderkey").data
+    custkey = lo.column("custkey").data
+    orderdate = lo.column("orderdate").data
+    # every line of one order has the same customer and orderdate
+    by_order = {}
+    for i in range(lo.num_rows):
+        k = int(orderkey[i])
+        pair = (int(custkey[i]), int(orderdate[i]))
+        if k in by_order:
+            assert by_order[k] == pair
+        else:
+            by_order[k] = pair
+    lines = np.bincount(orderkey)
+    assert lines[lines > 0].max() <= 7
+
+
+def test_date_table_calendar(ssb_data):
+    date = ssb_data.date
+    keys = date.column("datekey").data
+    assert keys[0] == 19920101
+    assert np.all(np.diff(keys) > 0)
+    years = date.column("year").data
+    assert years.min() == 1992 and years.max() == 1998
+    ymn = date.column("yearmonthnum").data
+    assert np.array_equal(ymn // 100, years)
+    week = date.column("weeknuminyear").data
+    assert week.min() == 1 and week.max() <= 53
+    assert (week == 6).sum() == 7 * sp.NUM_YEARS
+
+
+def test_date_yearmonth_strings(ssb_data):
+    ym = ssb_data.date.column("yearmonth")
+    assert "Dec1997" in ym.dictionary.strings
+    assert "Jan1992" in ym.dictionary.strings
+
+
+def test_stratified_city_coverage(ssb_data):
+    """Every city has at least one supplier and customer (the property
+    that keeps Q3.3's selectivity near spec at small SF)."""
+    for name in ("customer", "supplier"):
+        cities = ssb_data.table(name).column("city")
+        counts = np.bincount(cities.data, minlength=len(
+            cities.dictionary))
+        assert counts.min() >= 1, name
+
+
+def test_determinism():
+    a = generate(0.005, seed=42)
+    b = generate(0.005, seed=42)
+    for name in a.tables:
+        ta, tb = a.table(name), b.table(name)
+        for col in ta.column_names:
+            assert np.array_equal(ta.column(col).data, tb.column(col).data)
+    c = generate(0.005, seed=43)
+    assert not np.array_equal(a.lineorder.column("custkey").data,
+                              c.lineorder.column("custkey").data)
+
+
+def test_default_seed_stable(ssb_data):
+    assert ssb_data.seed == DEFAULT_SEED
+    assert ssb_data.scale_factor == 0.01

@@ -1,0 +1,43 @@
+"""E6: the 13 published LINEORDER selectivities (Section 3).
+
+At small scale factors the rarest queries select a handful of rows, so
+the assertion uses a Poisson-style tolerance: the observed count must lie
+within a generous band around ``paper_selectivity * num_rows``.
+"""
+
+import math
+
+import pytest
+
+from repro.reference import selected_positions
+from repro.ssb import PAPER_SELECTIVITIES, all_queries
+from repro.ssb.queries import FLIGHT_OF
+
+
+@pytest.mark.parametrize("query", all_queries(), ids=lambda q: q.name)
+def test_selectivity_matches_paper(ssb_data, query):
+    n = ssb_data.lineorder.num_rows
+    observed = len(selected_positions(ssb_data.tables, query))
+    expected = PAPER_SELECTIVITIES[query.name] * n
+    # 5-sigma Poisson band plus a 25% modelling allowance
+    slack = 5 * math.sqrt(max(expected, 1)) + 0.25 * expected + 2
+    assert abs(observed - expected) <= slack, (
+        f"{query.name}: observed {observed}, expected {expected:.1f}"
+    )
+
+
+def test_flight_assignment():
+    assert FLIGHT_OF["Q1.3"] == 1
+    assert FLIGHT_OF["Q2.2"] == 2
+    assert FLIGHT_OF["Q3.4"] == 3
+    assert FLIGHT_OF["Q4.1"] == 4
+
+
+def test_selectivities_ordered_within_flights():
+    """Within each flight the paper's queries get successively more
+    selective (flight 3's four queries strictly so)."""
+    s = PAPER_SELECTIVITIES
+    assert s["Q1.1"] > s["Q1.2"] > s["Q1.3"]
+    assert s["Q2.1"] > s["Q2.2"] > s["Q2.3"]
+    assert s["Q3.1"] > s["Q3.2"] > s["Q3.3"] > s["Q3.4"]
+    assert s["Q4.1"] > s["Q4.2"] > s["Q4.3"]

@@ -1,0 +1,39 @@
+"""The SSB validator module."""
+
+import numpy as np
+import pytest
+
+from repro.ssb.validate import ALL_CHECKS, main, validate
+
+
+def test_all_checks_pass_on_generated_data(ssb_data):
+    results = validate(ssb_data)
+    assert len(results) == len(ALL_CHECKS)
+    for result in results:
+        assert result.passed, f"{result.name}: {result.detail}"
+
+
+def test_validator_catches_corruption(ssb_data):
+    import copy
+
+    from repro.storage.column import Column
+    from repro.storage.table import Table
+    from repro.types import int32
+
+    broken = copy.copy(ssb_data)
+    lo = ssb_data.lineorder
+    bad_revenue = lo.column("revenue").data.copy()
+    bad_revenue[0] += 1
+    columns = [
+        Column.from_ints("revenue", bad_revenue, int32())
+        if c.name == "revenue" else c
+        for c in lo.columns()
+    ]
+    broken.lineorder = Table("lineorder", columns, lo.sort_order)
+    results = {r.name: r for r in validate(broken)}
+    assert not results[
+        "revenue = extendedprice * (100 - discount) / 100"].passed
+
+
+def test_cli_exit_codes():
+    assert main(["--sf", "0.005"]) == 0

@@ -1,0 +1,77 @@
+"""Failure injection: corrupt page images must raise typed errors, not
+return wrong data silently."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError, PageFormatError, StorageError
+from repro.simio.buffer_pool import BufferPool
+from repro.simio.disk import SimulatedDisk
+from repro.simio.stats import QueryStats
+from repro.storage.colfile import ColumnFile, CompressionLevel
+from repro.storage.column import Column
+from repro.storage.encodings import decode_payload
+from repro.storage.heapfile import HeapFile
+from repro.storage.table import Table
+from repro.types import int32
+
+
+def _env():
+    disk = SimulatedDisk(QueryStats())
+    return disk, BufferPool(disk, 1024 * 1024)
+
+
+def _corrupt(disk, name, page_no, payload):
+    disk.file(name).pages[page_no] = payload
+
+
+def test_colfile_truncated_page(disk, pool):
+    col = Column.from_ints("v", np.arange(10_000, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "c", col, CompressionLevel.NONE)
+    original = disk.file("c").pages[0]
+    _corrupt(disk, "c", 0, original[:100])
+    pool.clear()
+    with pytest.raises((StorageError, EncodingError)):
+        f.read_all(pool)
+
+
+def test_colfile_unknown_codec_byte(disk, pool):
+    col = Column.from_ints("v", np.arange(100, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "c", col, CompressionLevel.NONE)
+    page = bytearray(disk.file("c").pages[0])
+    page[8] = 0x7F  # codec id byte
+    _corrupt(disk, "c", 0, bytes(page))
+    pool.clear()
+    with pytest.raises(EncodingError):
+        f.read_all(pool)
+
+
+def test_colfile_count_mismatch(disk, pool):
+    col = Column.from_ints("v", np.arange(100, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "c", col, CompressionLevel.NONE)
+    page = bytearray(disk.file("c").pages[0])
+    page[0] = 99  # declared count
+    _corrupt(disk, "c", 0, bytes(page))
+    pool.clear()
+    with pytest.raises(StorageError):
+        f.read_all(pool)
+
+
+def test_rle_corrupt_run_lengths():
+    from repro.storage.encodings.rle import RLE
+
+    framed = bytearray(RLE.frame(np.repeat(np.int32(3), 10).astype(
+        np.int32)))
+    framed[-1] ^= 0xFF  # flip bits inside the run-length array
+    with pytest.raises(EncodingError):
+        decode_payload(bytes(framed))
+
+
+def test_heapfile_bad_page_multiple(disk, pool):
+    table = Table("t", [Column.from_ints("a", np.arange(100, dtype=np.int32),
+                                         int32())])
+    heap = HeapFile.load(disk, "h", table)
+    _corrupt(disk, "h", 0, b"x" * 13)
+    pool.clear()
+    with pytest.raises(PageFormatError):
+        list(heap.scan_batches(pool))

@@ -1,0 +1,276 @@
+"""Row pages, heap files, column files, projections: real round-trips
+through the simulated disk."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PageFormatError, StorageError
+from repro.simio.disk import PAGE_SIZE
+from repro.storage.blocks import ArrayBlock, RleBlock
+from repro.storage.colfile import ColumnFile, CompressionLevel
+from repro.storage.column import Column
+from repro.storage.heapfile import HeapFile
+from repro.storage.projection import Projection
+from repro.storage.rowpage import RowFormat, decode_field
+from repro.storage.table import SortOrder, Table
+from repro.types import Schema, int32, int64, string
+
+
+def _small_table(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table("t", [
+        Column.from_ints("k", np.arange(n, dtype=np.int32), int32()),
+        Column.from_ints("v", rng.integers(0, 50, n).astype(np.int32),
+                         int32()),
+        Column.from_strings("s", [f"val{i % 7}" for i in range(n)]),
+    ])
+
+
+# --------------------------------------------------------------------- #
+# RowFormat
+# --------------------------------------------------------------------- #
+def test_row_format_geometry():
+    schema = Schema.of(("a", int32()), ("s", string(10)))
+    fmt = RowFormat(schema)
+    assert fmt.record_width == 8 + 4 + 10
+    assert fmt.rows_per_page == PAGE_SIZE // 22
+    assert fmt.num_pages_for(0) == 0
+    assert fmt.num_pages_for(1) == 1
+    assert fmt.num_pages_for(fmt.rows_per_page + 1) == 2
+
+
+def test_row_format_header_optional():
+    schema = Schema.of(("a", int32()),)
+    assert RowFormat(schema, header_bytes=0).record_width == 4
+    with pytest.raises(PageFormatError):
+        RowFormat(schema, header_bytes=3)
+
+
+def test_row_format_roundtrip():
+    table = _small_table(100)
+    fmt = RowFormat(table.schema)
+    records = fmt.build_records(table)
+    pages = list(fmt.pages_of(records))
+    back = np.concatenate([fmt.parse_page(p) for p in pages])
+    assert np.array_equal(back["k"], table.column("k").data)
+    assert back["s"][3] == b"val3"
+
+
+def test_parse_page_bad_length():
+    fmt = RowFormat(Schema.of(("a", int32()),))
+    with pytest.raises(PageFormatError):
+        fmt.parse_page(b"x" * 13)
+
+
+def test_decode_field():
+    assert decode_field(b"abc") == "abc"
+    assert decode_field(np.int32(5)) == 5
+
+
+# --------------------------------------------------------------------- #
+# HeapFile
+# --------------------------------------------------------------------- #
+def test_heapfile_roundtrip(disk, pool):
+    table = _small_table(5000)
+    heap = HeapFile.load(disk, "h", table)
+    assert heap.num_rows == 5000
+    got = np.concatenate(list(heap.scan_batches(pool)))
+    assert np.array_equal(got["k"], table.column("k").data)
+
+
+def test_heapfile_random_read(disk, pool):
+    table = _small_table(5000)
+    heap = HeapFile.load(disk, "h", table)
+    rec = heap.read_row(pool, 4321)
+    assert int(rec["k"]) == 4321
+    with pytest.raises(StorageError):
+        heap.read_row(pool, 5000)
+
+
+def test_heapfile_charges_io(disk, pool):
+    table = _small_table(5000)
+    heap = HeapFile.load(disk, "h", table)
+    disk.stats.reset()
+    disk.reset_head()
+    list(heap.scan_batches(pool))
+    assert disk.stats.bytes_read == heap.num_pages * PAGE_SIZE
+    assert disk.stats.seeks == 1
+
+
+# --------------------------------------------------------------------- #
+# ColumnFile
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("level", list(CompressionLevel))
+def test_colfile_roundtrip_ints(disk, pool, level):
+    col = Column.from_ints("v", np.arange(30_000, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, f"c_{level.value}", col, level)
+    assert f.num_values == 30_000
+    assert np.array_equal(f.read_all(pool), col.data)
+
+
+@pytest.mark.parametrize("level", list(CompressionLevel))
+def test_colfile_roundtrip_strings(disk, pool, level):
+    col = Column.from_strings("s", [f"x{i % 5}" for i in range(10_000)])
+    f = ColumnFile.load(disk, f"s_{level.value}", col, level)
+    out = f.read_all(pool)
+    if level is CompressionLevel.NONE:
+        assert out.dtype.kind == "S"
+        assert out[0] == b"x0"
+    else:
+        assert out.dtype == np.int32
+        assert np.array_equal(out, col.data)
+
+
+def test_colfile_empty(disk, pool):
+    col = Column.from_ints("v", np.array([], dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "e", col)
+    assert f.num_values == 0
+    assert len(f.read_all(pool)) == 0
+
+
+def test_colfile_compression_shrinks_sorted(disk):
+    sorted_col = Column.from_ints(
+        "v", np.repeat(np.arange(30, dtype=np.int32), 1000), int32())
+    fc = ColumnFile.load(disk, "comp", sorted_col, CompressionLevel.MAX)
+    fp = ColumnFile.load(disk, "plain", sorted_col, CompressionLevel.NONE)
+    assert fc.size_bytes <= fp.size_bytes / 4
+
+
+def test_colfile_rle_block_direct(disk, pool):
+    col = Column.from_ints("v", np.repeat(np.int32(7), 50_000).astype(
+        np.int32), int32())
+    f = ColumnFile.load(disk, "r", col, CompressionLevel.MAX)
+    blocks = list(f.iter_blocks(pool, direct=True))
+    assert len(blocks) == 1
+    assert isinstance(blocks[0], RleBlock)
+    assert blocks[0].num_runs == 1
+    assert blocks[0].count == 50_000
+    # without direct access the same block arrives decoded, and the
+    # expansion is charged
+    pool.stats.reset()
+    block = f.read_block(pool, 0, direct=False)
+    assert isinstance(block, ArrayBlock)
+    assert pool.stats.values_decompressed == 50_000
+
+
+def test_colfile_block_positions(disk, pool):
+    col = Column.from_ints("v", np.arange(100_000, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "b", col, CompressionLevel.NONE)
+    assert f.num_blocks > 1
+    assert f.block_for_position(0) == 0
+    last = f.block_for_position(99_999)
+    assert last == f.num_blocks - 1
+    with pytest.raises(StorageError):
+        f.block_for_position(100_000)
+
+
+def test_colfile_fetch_reads_only_needed_blocks(disk, pool):
+    col = Column.from_ints("v", np.arange(100_000, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "f", col, CompressionLevel.NONE)
+    disk.stats.reset()
+    positions = np.array([5, 6, 99_000], dtype=np.int64)
+    values = f.fetch(pool, positions)
+    assert values.tolist() == [5, 6, 99_000]
+    assert disk.stats.pages_read == 2  # first and last block only
+
+
+def test_colfile_rle_blocks_cover_many_positions(disk, pool):
+    # a sorted low-cardinality column packs far more than the plain
+    # per-page value count into each page
+    col = Column.from_ints(
+        "v", np.repeat(np.arange(10, dtype=np.int32), 100_000), int32())
+    f = ColumnFile.load(disk, "wide", col, CompressionLevel.MAX)
+    plain_per_page = (PAGE_SIZE - 24) // 4
+    assert f.num_values / f.num_blocks > plain_per_page * 10
+
+
+# --------------------------------------------------------------------- #
+# Projection
+# --------------------------------------------------------------------- #
+def test_projection_sorts_and_roundtrips(disk, pool):
+    table = _small_table(2000, seed=3)
+    proj = Projection.create(disk, table, sort_keys=("v", "k"))
+    assert proj.sort_order.keys == ("v", "k")
+    data = proj.read_table(pool)
+    assert np.all(np.diff(data["v"]) >= 0)
+    # same multiset of keys
+    assert sorted(data["k"].tolist()) == list(range(2000))
+
+
+def test_projection_unknown_column(disk):
+    proj = Projection.create(disk, _small_table(10), sort_keys=())
+    with pytest.raises(Exception):
+        proj.column_file("missing")
+    assert proj.has_column("k")
+    assert proj.sorted_on("k") is None
+
+
+def test_projection_sizes(disk):
+    table = _small_table(2000)
+    plain = Projection.create(disk, table, (), CompressionLevel.NONE,
+                              name="p_plain")
+    comp = Projection.create(disk, table, ("v",), CompressionLevel.MAX,
+                             name="p_comp")
+    assert comp.compressed_payload_bytes() < plain.compressed_payload_bytes()
+    assert plain.size_bytes() >= plain.compressed_payload_bytes()
+
+
+# --------------------------------------------------------------------- #
+# property tests: the disk formats round-trip arbitrary data
+# --------------------------------------------------------------------- #
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simio.stats import QueryStats
+from repro.simio.disk import SimulatedDisk
+from repro.simio.buffer_pool import BufferPool
+
+
+@given(st.lists(st.integers(min_value=-2**31, max_value=2**31 - 1),
+                max_size=2000),
+       st.sampled_from(list(CompressionLevel)))
+@settings(max_examples=30, deadline=None)
+def test_property_colfile_roundtrip(values, level):
+    local_disk = SimulatedDisk(QueryStats())
+    local_pool = BufferPool(local_disk, 4 * 1024 * 1024)
+    col = Column.from_ints("v", np.asarray(values, dtype=np.int32), int32())
+    f = ColumnFile.load(local_disk, "c", col, level)
+    assert np.array_equal(f.read_all(local_pool), col.data)
+    # block starts are consistent with the value count
+    assert f.num_values == len(values)
+    if values:
+        assert f.block_for_position(len(values) - 1) == f.num_blocks - 1
+
+
+@given(st.lists(st.integers(min_value=-2**31, max_value=2**31 - 1),
+                min_size=1, max_size=500),
+       st.lists(st.text(alphabet="abcdef", min_size=0, max_size=6),
+                min_size=1, max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_property_heapfile_roundtrip(ints, strings):
+    n = min(len(ints), len(strings))
+    local_disk = SimulatedDisk(QueryStats())
+    local_pool = BufferPool(local_disk, 4 * 1024 * 1024)
+    table = Table("t", [
+        Column.from_ints("a", np.asarray(ints[:n], dtype=np.int32),
+                         int32()),
+        Column.from_strings("s", [x or "_" for x in strings[:n]]),
+    ])
+    heap = HeapFile.load(local_disk, "h", table)
+    got = np.concatenate(list(heap.scan_batches(local_pool)))
+    assert np.array_equal(got["a"], table.column("a").data)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**31 - 1),
+                min_size=2, max_size=2000))
+@settings(max_examples=30, deadline=None)
+def test_property_colfile_fetch_matches_direct(values):
+    local_disk = SimulatedDisk(QueryStats())
+    local_pool = BufferPool(local_disk, 4 * 1024 * 1024)
+    arr = np.asarray(values, dtype=np.int32)
+    col = Column.from_ints("v", arr, int32())
+    f = ColumnFile.load(local_disk, "c", col, CompressionLevel.MAX)
+    positions = np.unique(np.asarray(
+        [0, len(arr) // 2, len(arr) - 1], dtype=np.int64))
+    assert f.fetch(local_pool, positions).tolist() == \
+        arr[positions].tolist()

@@ -1,0 +1,78 @@
+"""The command-line entry points, driven in-process."""
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.shell import main as shell_main
+from repro.ssb.validate import main as validate_main
+
+
+def test_bench_single_figure(capsys):
+    assert bench_main(["figure7", "--sf", "0.004"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "tICL" in out and "Ticl" in out
+    assert "shape comparison" in out
+    assert "averages" in out  # bar chart
+
+
+def test_bench_storage(capsys):
+    assert bench_main(["storage", "--sf", "0.004"]) == 0
+    assert "fact heap" in capsys.readouterr().out
+
+
+def test_bench_breakdown(capsys):
+    assert bench_main(["breakdown", "--sf", "0.004", "--query", "Q1.1",
+                       "--config", "ticL", "--design", "MV"]) == 0
+    out = capsys.readouterr().out
+    assert "column store [ticL]" in out
+    assert "row store [MV]" in out
+    assert "TOTAL" in out
+
+
+def test_bench_report_to_file(tmp_path, capsys):
+    target = tmp_path / "results.md"
+    assert bench_main(["report", "--sf", "0.004", "--out",
+                       str(target)]) == 0
+    text = target.read_text()
+    assert "Figure 5" in text and "Storage report" in text
+
+
+def test_bench_verify_flag(capsys):
+    assert bench_main(["figure7", "--sf", "0.004", "--verify"]) == 0
+
+
+def test_bench_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        bench_main(["figure9"])
+
+
+def test_validate_cli(capsys):
+    assert validate_main(["--sf", "0.004"]) == 0
+    out = capsys.readouterr().out
+    assert "9/9 checks passed" in out
+
+
+def test_shell_main_scripted(monkeypatch, capsys):
+    lines = iter([
+        "\\queries",
+        "Q1.1",
+        "SELECT count(*) AS n",          # multi-line SQL ...
+        "FROM lineorder;",               # ... terminated by ';'
+        "\\quit",
+    ])
+    monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+    assert shell_main(["--sf", "0.004"]) == 0
+    out = capsys.readouterr().out
+    assert "Q4.3" in out            # \queries listing
+    assert "ms simulated" in out    # Q1.1 ran
+    assert "n" in out               # the count query printed
+    assert "bye" in out
+
+
+def test_shell_main_eof(monkeypatch, capsys):
+    def raise_eof(prompt=""):
+        raise EOFError
+
+    monkeypatch.setattr("builtins.input", raise_eof)
+    assert shell_main(["--sf", "0.004"]) == 0

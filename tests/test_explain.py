@@ -1,0 +1,85 @@
+"""EXPLAIN output tests for both engines."""
+
+import pytest
+
+from repro.core.config import ExecutionConfig
+from repro.errors import PlanError
+from repro.rowstore.designs import DesignKind
+from repro.ssb import query_by_name
+
+
+def test_column_explain_shows_between_rewrites(cstore):
+    text = cstore.explain(query_by_name("Q3.1"))
+    assert "invisible join" in text
+    assert "BETWEEN rewrite" in text
+    assert "custkey in [" in text
+    assert "surviving position(s)" in text
+    assert "direct array lookup" in text
+    assert "sort result by year asc, revenue desc" in text
+
+
+def test_column_explain_hash_fallback(cstore):
+    text = cstore.explain(query_by_name("Q2.1"),
+                          ExecutionConfig.from_label("tiCL"))
+    assert "late materialized hash join" in text
+    assert "hash set of" in text
+    assert "BETWEEN rewrite" not in text
+
+
+def test_column_explain_unfiltered_dimension(cstore):
+    # Q2.1 groups by d.year with no date predicate
+    text = cstore.explain(query_by_name("Q2.1"))
+    assert "no predicates; extraction only" in text
+
+
+def test_column_explain_early_materialization(cstore):
+    text = cstore.explain(query_by_name("Q1.1"),
+                          ExecutionConfig.from_label("Ticl"))
+    assert "early materialization" in text
+    assert "construct" in text
+    assert "row-wise filter" in text
+
+
+def test_column_explain_does_not_perturb_ledger(cstore):
+    q = query_by_name("Q3.2")
+    before = cstore.execute(q).stats.snapshot()
+    cstore.explain(q)
+    after = cstore.execute(q).stats.snapshot()
+    assert before == after
+
+
+@pytest.mark.parametrize("design,needle", [
+    (DesignKind.TRADITIONAL, "sequential scan of lineorder heap"),
+    (DesignKind.TRADITIONAL_BITMAP, "bitmap access path"),
+    (DesignKind.MATERIALIZED_VIEWS, "materialized view mv_f2"),
+    (DesignKind.VERTICAL_PARTITIONING, "position joins over two-column"),
+    (DesignKind.INDEX_ONLY, "before* any dimension filtering"),
+])
+def test_row_explain_per_design(system_x, design, needle):
+    text = system_x.explain(query_by_name("Q2.1"), design)
+    assert needle in text
+    assert "EXPLAIN Q2.1" in text
+
+
+def test_row_explain_partition_pruning(system_x):
+    pruned = system_x.explain(query_by_name("Q1.1"),
+                              DesignKind.TRADITIONAL)
+    assert "6 pruned" in pruned
+    unpruned = system_x.explain(query_by_name("Q1.1"),
+                                DesignKind.TRADITIONAL,
+                                prune_partitions=False)
+    assert "all 7" in unpruned
+
+
+def test_row_explain_selectivities(system_x):
+    text = system_x.explain(query_by_name("Q3.1"), DesignKind.TRADITIONAL)
+    assert "20.00% of keys" in text
+    assert "carry [nation]" in text
+
+
+def test_row_explain_unbuilt_design(ssb_data):
+    from repro.rowstore.engine import SystemX
+
+    engine = SystemX(ssb_data, designs=[DesignKind.TRADITIONAL])
+    with pytest.raises(PlanError):
+        engine.explain(query_by_name("Q1.1"), DesignKind.INDEX_ONLY)

@@ -1,0 +1,104 @@
+"""StarQuery IR and ResultSet tests."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.logical import (
+    AggExpr,
+    BinOp,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    Literal,
+    OrderKey,
+    StarQuery,
+    expr_columns,
+)
+from repro.result import ResultSet
+from repro.ssb import query_by_name
+
+
+def _ref(t, c):
+    return ColumnRef(t, c)
+
+
+def test_star_query_validation():
+    with pytest.raises(PlanError):
+        StarQuery("q", "f", {}, (), (), ())  # no aggregates
+    with pytest.raises(PlanError):
+        StarQuery(
+            "q", "f", {},
+            (Comparison(_ref("ghost", "x"), CompareOp.EQ, 1),),
+            (),
+            (AggExpr("sum", _ref("f", "v"), "s"),),
+        )
+
+
+def test_star_query_accessors():
+    q = query_by_name("Q3.1")
+    assert q.fk_of("customer") == "custkey"
+    assert q.key_of("customer") == "custkey"
+    assert q.key_of("date") == "datekey"
+    with pytest.raises(PlanError):
+        q.fk_of("part")
+    assert q.dimensions_used() == ["customer", "date", "supplier"]
+    assert q.group_by_of("customer") == ["nation"]
+    assert [p.column for p in q.fact_predicates()] == []
+    assert q.has_group_by()
+
+
+def test_fact_columns_needed():
+    q = query_by_name("Q1.1")
+    cols = q.fact_columns_needed()
+    assert cols == ["discount", "quantity", "orderdate", "extendedprice"]
+
+
+def test_expr_columns():
+    expr = BinOp("*", _ref("f", "a"), BinOp("+", Literal(1), _ref("f", "b")))
+    assert [r.column for r in expr_columns(expr)] == ["a", "b"]
+
+
+def test_bad_binop_and_agg():
+    with pytest.raises(PlanError):
+        BinOp("/", Literal(1), Literal(2))
+    with pytest.raises(PlanError):
+        AggExpr("median", Literal(1), "m")
+
+
+def test_compare_op_flip():
+    assert CompareOp.LT.flip() is CompareOp.GT
+    assert CompareOp.EQ.flip() is CompareOp.EQ
+    assert CompareOp.GE.flip() is CompareOp.LE
+
+
+# --------------------------------------------------------------------- #
+# ResultSet
+# --------------------------------------------------------------------- #
+def test_result_same_rows_order_insensitive():
+    a = ResultSet(["x"], [(1,), (2,)])
+    b = ResultSet(["x"], [(2,), (1,)])
+    assert a.same_rows(b)
+    assert not a.same_rows(ResultSet(["x"], [(1,)]))
+
+
+def test_result_order_by():
+    r = ResultSet(["g", "v"], [("b", 1), ("a", 3), ("a", 2)])
+    asc = r.order_by([OrderKey("g"), OrderKey("v")])
+    assert asc.rows == [("a", 2), ("a", 3), ("b", 1)]
+    desc = r.order_by([OrderKey("g"), OrderKey("v", ascending=False)])
+    assert desc.rows == [("a", 3), ("a", 2), ("b", 1)]
+    assert r.order_by([]).rows == r.rows
+
+
+def test_result_column_values_and_pretty():
+    r = ResultSet(["g", "v"], [("a", 1), ("b", 2)])
+    assert r.column_values("v") == [1, 2]
+    text = r.pretty()
+    assert "g" in text and "b" in text
+    many = ResultSet(["x"], [(i,) for i in range(50)])
+    assert "more rows" in many.pretty(limit=5)
+
+
+def test_result_mixed_type_sorting():
+    r = ResultSet(["x"], [("s", ), (1, )])
+    assert r.sorted_rows() == [(1,), ("s",)]

@@ -1,0 +1,90 @@
+"""Shell command dispatch tests (no terminal involved)."""
+
+import pytest
+
+from repro.shell import Shell
+
+
+@pytest.fixture(scope="module")
+def shell():
+    return Shell(scale_factor=0.005)
+
+
+def test_empty_line(shell):
+    assert shell.handle("") == ""
+
+
+def test_help_and_queries(shell):
+    assert "\\engine" in shell.handle("\\help")
+    listing = shell.handle("\\queries")
+    assert "Q1.1" in listing and "Q4.3" in listing
+
+
+def test_sql_text_lookup(shell):
+    assert "BETWEEN 1 AND 3" in shell.handle("\\sql Q1.1")
+    assert "error" in shell.handle("\\sql Q9.9")
+
+
+def test_run_ssb_query_by_name(shell):
+    out = shell.handle("Q1.1")
+    assert "column store [tICL]" in out
+    assert "row store [T]" in out
+    assert "ms simulated" in out
+
+
+def test_run_adhoc_sql(shell):
+    out = shell.handle(
+        "SELECT sum(lo.revenue) AS revenue FROM lineorder AS lo "
+        "WHERE lo.quantity < 10")
+    assert "revenue" in out
+    assert "ms simulated" in out
+
+
+def test_engine_switching(shell):
+    assert "engine set to cs" in shell.handle("\\engine cs")
+    out = shell.handle("Q1.2")
+    assert "row store" not in out
+    shell.handle("\\engine both")
+    assert "error" in shell.handle("\\engine turbo")
+
+
+def test_config_switching(shell):
+    assert "Ticl" in shell.handle("\\config Ticl")
+    out = shell.handle("Q1.3")
+    assert "column store [Ticl]" in out
+    shell.handle("\\config tICL")
+    assert "error" in shell.handle("\\config nope")
+
+
+def test_design_switching(shell):
+    assert "MV" in shell.handle("\\design MV")
+    out = shell.handle("Q2.1")
+    assert "row store [MV]" in out
+    shell.handle("\\design T")
+    assert "error" in shell.handle("\\design ZZ")
+
+
+def test_explain(shell):
+    out = shell.handle("\\explain Q3.1")
+    assert "invisible join" in out
+    assert "EXPLAIN" in out
+
+
+def test_verify_toggle(shell):
+    assert "off" in shell.handle("\\verify off")
+    assert "on" in shell.handle("\\verify on")
+    assert "error" in shell.handle("\\verify maybe")
+
+
+def test_sql_error_is_reported(shell):
+    out = shell.handle("SELECT FROM nothing")
+    assert out.startswith("error:")
+
+
+def test_unknown_command(shell):
+    assert "unknown command" in shell.handle("\\frobnicate")
+
+
+def test_quit(shell):
+    assert shell.handle("\\quit") == "bye"
+    assert shell.done

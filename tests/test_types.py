@@ -1,0 +1,85 @@
+"""Type system and schema tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.types import (
+    ColumnType,
+    Field,
+    ROW_TUPLE_HEADER_BYTES,
+    Schema,
+    TypeKind,
+    int32,
+    int64,
+    string,
+    validate_int_array,
+)
+
+
+def test_type_constructors():
+    assert int32().width == 4 and int32().is_integer
+    assert int64().width == 8
+    s = string(12)
+    assert s.width == 12 and s.is_string
+    assert s.numpy_dtype == np.dtype(np.int32)  # codes
+    with pytest.raises(TypeMismatchError):
+        ColumnType(TypeKind.STRING, 0)
+
+
+def test_field_requires_name():
+    with pytest.raises(SchemaError):
+        Field("", int32())
+
+
+def _schema():
+    return Schema.of(("a", int32()), ("b", string(5)), ("c", int64()))
+
+
+def test_schema_lookup_and_order():
+    s = _schema()
+    assert s.names == ["a", "b", "c"]
+    assert s.position("b") == 1
+    assert s.type_of("c") == int64()
+    assert "a" in s and "z" not in s
+    assert len(s) == 3
+    with pytest.raises(SchemaError):
+        s.field("z")
+
+
+def test_schema_duplicate_rejected():
+    with pytest.raises(SchemaError):
+        Schema.of(("a", int32()), ("a", int64()))
+
+
+def test_schema_project_concat_rename():
+    s = _schema()
+    p = s.project(["c", "a"])
+    assert p.names == ["c", "a"]
+    extended = s.concat(Schema.of(("d", int32())))
+    assert extended.names == ["a", "b", "c", "d"]
+    renamed = s.rename({"a": "alpha"})
+    assert renamed.names == ["alpha", "b", "c"]
+
+
+def test_schema_row_width():
+    assert _schema().row_width == 4 + 5 + 8
+    assert ROW_TUPLE_HEADER_BYTES == 8
+
+
+def test_schema_equality_and_hash():
+    assert _schema() == _schema()
+    assert hash(_schema()) == hash(_schema())
+    assert _schema() != Schema.of(("a", int32()))
+
+
+def test_validate_int_array():
+    arr = validate_int_array(np.array([1, 2], dtype=np.int64), int32())
+    assert arr.dtype == np.int32
+    with pytest.raises(TypeMismatchError):
+        validate_int_array(np.array([2**40]), int32())
+    with pytest.raises(TypeMismatchError):
+        validate_int_array(np.array([1.5]), int32())
+    # already correct dtype passes through unchanged
+    src = np.array([3], dtype=np.int32)
+    assert validate_int_array(src, int32()) is src

@@ -91,6 +91,37 @@ def test_colfile_scan(benchmark, int_data):
     assert len(out) == N
 
 
+@pytest.fixture(scope="module")
+def group_matrix():
+    """Realistic grouped-aggregation input: SSBM flight-4-style group
+    codes (year x nation x category) over N surviving rows."""
+    rng = np.random.default_rng(3)
+    return np.stack([
+        rng.integers(1997, 2004, N).astype(np.int64),
+        rng.integers(0, 25, N).astype(np.int64),
+        rng.integers(0, 25, N).astype(np.int64),
+    ])
+
+
+def test_group_factorize_packed(benchmark, group_matrix):
+    """Packed-key factorization (the grouped_aggregate fast path)."""
+    from repro.colstore.operators.aggregate import factorize_groups
+
+    uniq, inverse = benchmark(lambda: factorize_groups(group_matrix))
+    ref_uniq, ref_inverse = np.unique(group_matrix, axis=1,
+                                      return_inverse=True)
+    assert np.array_equal(uniq, ref_uniq)
+    assert np.array_equal(inverse, np.ravel(ref_inverse))
+    benchmark.extra_info["num_groups"] = int(uniq.shape[1])
+
+
+def test_group_factorize_axis_unique(benchmark, group_matrix):
+    """The np.unique(axis=1) path factorize_groups replaced (baseline)."""
+    uniq, _inverse = benchmark(
+        lambda: np.unique(group_matrix, axis=1, return_inverse=True))
+    benchmark.extra_info["num_groups"] = int(uniq.shape[1])
+
+
 def test_generator_throughput(benchmark):
     data = benchmark.pedantic(lambda: generate(0.01, seed=7), rounds=3,
                               iterations=1)

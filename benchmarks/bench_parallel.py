@@ -1,0 +1,141 @@
+"""Serial vs morsel-parallel wall-clock over the 13 SSBM queries.
+
+Runs every query at ``workers=1`` and ``workers=4`` against the same
+engine, checks that rows and the simulated I/O ledger are identical
+(the morsel layer's contract), and writes per-flight wall-clock
+aggregates to ``BENCH_parallel.json``.
+
+Wall-clock speedup depends on the host: the numpy kernels release the
+GIL, so gains track physical cores.  ``cpu_count`` is recorded in the
+output — on a single-core host the parallel run measures overhead, not
+speedup, and that is reported honestly rather than hidden.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--sf 0.1] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import time
+
+from repro.colstore.engine import CStore
+from repro.core.config import ExecutionConfig
+from repro.ssb.cache import load_or_generate
+from repro.ssb.generator import DEFAULT_SEED
+from repro.ssb.queries import ALL_QUERIES, FLIGHT_OF
+
+_IO_FIELDS = ("pages_read", "bytes_read", "seeks", "buffer_hits")
+
+
+def _time_queries(store: CStore, config: ExecutionConfig):
+    """(per-query wall seconds, per-query (rows, io ledger slice))."""
+    walls, fingerprints = {}, {}
+    for query in ALL_QUERIES:
+        started = time.perf_counter()
+        run = store.execute(query, config)
+        walls[query.name] = time.perf_counter() - started
+        fingerprints[query.name] = (
+            run.result.rows,
+            tuple(getattr(run.stats, f) for f in _IO_FIELDS),
+        )
+    return walls, fingerprints
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=0.1,
+                        help="scale factor (default 0.1)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="parallel worker count (default 4)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="output path (default BENCH_parallel.json)")
+    args = parser.parse_args(argv)
+    if args.workers < 2:
+        parser.error(f"--workers must be >= 2, got {args.workers}")
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+
+    print(f"generating SSB data at SF {args.sf} ...")
+    data = load_or_generate(args.sf, DEFAULT_SEED)
+    store = CStore(data)
+    serial = ExecutionConfig.baseline()
+    parallel = dataclasses.replace(serial, workers=args.workers)
+
+    best = {"serial": {}, "parallel": {}}
+    fingerprints = {}
+    for _ in range(args.repeat):
+        walls, fp_serial = _time_queries(store, serial)
+        for name, wall in walls.items():
+            best["serial"][name] = min(best["serial"].get(name, wall), wall)
+        walls, fp_parallel = _time_queries(store, parallel)
+        for name, wall in walls.items():
+            best["parallel"][name] = min(
+                best["parallel"].get(name, wall), wall)
+        fingerprints = (fp_serial, fp_parallel)
+
+    mismatches = [name for name in best["serial"]
+                  if fingerprints[0][name] != fingerprints[1][name]]
+    if mismatches:
+        raise SystemExit(f"parallel run deviates from serial on: "
+                         f"{', '.join(mismatches)}")
+
+    flights = {}
+    for name in best["serial"]:
+        flight = f"flight{FLIGHT_OF[name]}"
+        agg = flights.setdefault(flight, {"serial_s": 0.0, "parallel_s": 0.0})
+        agg["serial_s"] += best["serial"][name]
+        agg["parallel_s"] += best["parallel"][name]
+    for agg in flights.values():
+        agg["speedup"] = (agg["serial_s"] / agg["parallel_s"]
+                          if agg["parallel_s"] else 0.0)
+
+    total_serial = sum(best["serial"].values())
+    total_parallel = sum(best["parallel"].values())
+    report = {
+        "scale_factor": args.sf,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "repeat": args.repeat,
+        "queries": {
+            name: {
+                "serial_s": best["serial"][name],
+                "parallel_s": best["parallel"][name],
+                "speedup": (best["serial"][name] / best["parallel"][name]
+                            if best["parallel"][name] else 0.0),
+            }
+            for name in sorted(best["serial"])
+        },
+        "flights": dict(sorted(flights.items())),
+        "total": {
+            "serial_s": total_serial,
+            "parallel_s": total_parallel,
+            "speedup": (total_serial / total_parallel
+                        if total_parallel else 0.0),
+        },
+        "results_identical": True,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"\n{'query':8s} {'serial':>9s} {'x' + str(args.workers):>9s} "
+          f"{'speedup':>8s}")
+    for name, row in report["queries"].items():
+        print(f"{name:8s} {row['serial_s']:8.3f}s {row['parallel_s']:8.3f}s "
+              f"{row['speedup']:7.2f}x")
+    print(f"{'total':8s} {total_serial:8.3f}s {total_parallel:8.3f}s "
+          f"{report['total']['speedup']:7.2f}x  "
+          f"(host has {report['cpu_count']} CPU(s))")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,13 +61,20 @@ def main(argv=None) -> int:
                         help="scale factor (default: REPRO_SF env or 0.05)")
     parser.add_argument("--verify", action="store_true",
                         help="check every result against the oracle")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="morsel workers for column-store runs "
+                             "(default 1 = serial; simulated seconds are "
+                             "identical either way, only wall-clock moves)")
     parser.add_argument("--out", default=None,
                         help="output path for the 'report' target "
                              "(default: stdout)")
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     harness = Harness(scale_factor=args.sf,
-                      verify_against_reference=args.verify)
+                      verify_against_reference=args.verify,
+                      workers=args.workers)
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}")

@@ -14,7 +14,7 @@ execution is measured separately by the pytest-benchmark suites.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import ExecutionConfig
@@ -75,11 +75,15 @@ class Harness:
 
     def __init__(self, scale_factor: Optional[float] = None,
                  seed: int = DEFAULT_SEED,
-                 verify_against_reference: bool = False) -> None:
+                 verify_against_reference: bool = False,
+                 workers: int = 1) -> None:
         self.scale_factor = (scale_factor if scale_factor is not None
                              else scale_factor_from_env())
         self.seed = seed
         self.verify = verify_against_reference
+        #: morsel workers for column-store runs (1 = serial).  Parallel
+        #: runs charge the same simulated ledger — only wall-clock moves.
+        self.workers = workers
         self._data: Optional[SsbData] = None
         self._system_x: Optional[SystemX] = None
         self._built_designs: set = set()
@@ -149,6 +153,8 @@ class Harness:
 
     def run_column_config(self, query: StarQuery,
                           config: ExecutionConfig) -> float:
+        if self.workers > 1 and config.workers != self.workers:
+            config = replace(config, workers=self.workers)
         run = self.cstore().execute(query, config)
         self._check(query, run.result)
         return run.seconds

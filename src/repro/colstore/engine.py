@@ -31,6 +31,7 @@ from ..storage.rowpage import RowFormat
 from ..storage.table import Table
 from ..core.config import ExecutionConfig
 from ..rowstore.designs import mv_columns_for_flight
+from .operators.aggregate import factorize_groups
 from .operators.materialize import row_pipeline
 from .operators.scan import stored_bounds
 from .planner import ColumnPlanner, StoreContext
@@ -299,7 +300,7 @@ class CStore:
             group_arrays.append(codes)
             planner._group_lookups.append(lookup)
         matrix = np.stack(group_arrays)
-        uniq, inverse = np.unique(matrix, axis=1, return_inverse=True)
+        uniq, inverse = factorize_groups(matrix)
         reduced = [reduce_groups(func, values, inverse, uniq.shape[1])
                    for func, values in zip(agg_funcs, agg_arrays)]
         result = planner._finalize(query, group_arrays, (uniq, reduced))

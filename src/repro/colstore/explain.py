@@ -41,6 +41,17 @@ def explain(
             f"{k.key} {'asc' if k.ascending else 'desc'}"
             for k in query.order_by)
         lines.append(f"  sort result by {keys}")
+    stats = planner.stats
+    total = stats.pages_read + stats.buffer_hits
+    rate = stats.buffer_hits / total if total else 0.0
+    lines.append(
+        f"  buffer pool: {total} page read(s), {stats.pages_read} miss(es), "
+        f"{stats.buffer_hits} hit(s) ({rate:.1%} hit rate)")
+    if config.workers > 1:
+        lines.append(
+            f"  morsel parallelism: {config.workers} worker(s)"
+            + (f", {config.morsel_rows} row(s) per morsel"
+               if config.morsel_rows else ""))
     lines.append(f"  => {len(result)} result row(s)")
     return "\n".join(lines)
 

@@ -73,6 +73,42 @@ def scalar_aggregate(values_list: Sequence[np.ndarray], stats: QueryStats,
 
 GroupReduction = Tuple[np.ndarray, Optional[np.ndarray]]
 
+_I64 = np.iinfo(np.int64)
+
+
+def factorize_groups(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique group keys (lexicographic by row order) and per-row inverse.
+
+    Equivalent to ``np.unique(matrix, axis=1, return_inverse=True)`` but
+    avoids the notoriously slow ``axis=`` path: the k group-code rows are
+    ravelled into a single int64 packed key (first row most significant,
+    so sorted packed order == lexicographic column order) and factorized
+    with a 1-D ``np.unique``.  Falls back to the axis path only when the
+    combined key domain cannot fit in an int64.
+    """
+    k, n = matrix.shape
+    if n == 0:
+        return matrix, np.zeros(0, dtype=np.int64)
+    if k == 1:
+        uniq, inverse = np.unique(matrix[0], return_inverse=True)
+        return uniq[np.newaxis, :], inverse
+    mins = matrix.min(axis=1)
+    maxs = matrix.max(axis=1)
+    spans = [int(hi) - int(lo) + 1 for lo, hi in zip(mins, maxs)]
+    domain = 1
+    for span in spans:  # exact product in Python ints; no silent overflow
+        domain *= span
+    if domain > 2 ** 62:
+        uniq, inverse = np.unique(matrix, axis=1, return_inverse=True)
+        return uniq, inverse
+    key = np.zeros(n, dtype=np.int64)
+    for row, lo, span in zip(matrix, mins, spans):
+        key *= span
+        key += row - lo
+    _keys, index, inverse = np.unique(key, return_index=True,
+                                      return_inverse=True)
+    return matrix[:, index], inverse
+
 
 def grouped_aggregate(
     group_arrays: Sequence[np.ndarray],
@@ -99,7 +135,7 @@ def grouped_aggregate(
     if n == 0:
         return matrix, [(np.zeros(0, dtype=np.int64), None)
                         for _ in agg_arrays]
-    uniq, inverse = np.unique(matrix, axis=1, return_inverse=True)
+    uniq, inverse = factorize_groups(matrix)
     reduced: List[GroupReduction] = []
     for func, values in zip(funcs, agg_arrays):
         _charge(stats, config, len(values))
@@ -108,4 +144,81 @@ def grouped_aggregate(
     return uniq, reduced
 
 
-__all__ = ["eval_fact_expr", "scalar_aggregate", "grouped_aggregate"]
+def merge_group_reductions(
+    funcs: Sequence[str],
+    parts: Sequence[Tuple[np.ndarray, List[GroupReduction]]],
+) -> Tuple[np.ndarray, List[GroupReduction]]:
+    """Combine per-morsel :func:`grouped_aggregate` outputs into one.
+
+    Each part carries its own unique-key matrix and accumulators; the
+    merged result is identical to grouping the undivided input because
+    every accumulator follows :mod:`repro.plan.aggregates` semantics
+    (sum/count/avg add, min/max take elementwise extrema).
+    """
+    live = [(u, r) for u, r in parts if u.shape[1] > 0]
+    if not live:
+        return parts[0] if parts else (np.zeros((0, 0), dtype=np.int64), [])
+    matrix = np.concatenate([u for u, _ in live], axis=1)
+    uniq, inverse = factorize_groups(matrix)
+    num_groups = uniq.shape[1]
+    merged: List[GroupReduction] = []
+    for i, func in enumerate(funcs):
+        primary_in = np.concatenate([r[i][0] for _, r in live])
+        if func in ("sum", "count", "avg"):
+            primary = np.zeros(num_groups, dtype=np.int64)
+            np.add.at(primary, inverse, primary_in)
+        elif func == "min":
+            primary = np.full(num_groups, _I64.max, dtype=np.int64)
+            np.minimum.at(primary, inverse, primary_in)
+        elif func == "max":
+            primary = np.full(num_groups, _I64.min, dtype=np.int64)
+            np.maximum.at(primary, inverse, primary_in)
+        else:
+            raise ExecutionError(f"cannot merge aggregate {func!r}")
+        secondary: Optional[np.ndarray] = None
+        if func == "avg":
+            secondary = np.zeros(num_groups, dtype=np.int64)
+            np.add.at(secondary, inverse,
+                      np.concatenate([r[i][1] for _, r in live]))
+        merged.append((primary, secondary))
+    return uniq, merged
+
+
+def partial_scalar_aggregate(
+    values_list: Sequence[np.ndarray],
+    stats: QueryStats,
+    config: ExecutionConfig,
+    funcs: Sequence[str],
+) -> List[Tuple[int, Optional[int]]]:
+    """One morsel's share of :func:`scalar_aggregate`: reduce to raw
+    (primary, secondary) accumulators without finalizing, so partials
+    from different morsels stay mergeable."""
+    out: List[Tuple[int, Optional[int]]] = []
+    for func, values in zip(funcs, values_list):
+        _charge(stats, config, len(values))
+        out.append(agg_semantics.reduce_scalar(func, values))
+    return out
+
+
+def merge_scalar_reductions(
+    funcs: Sequence[str],
+    parts: Sequence[List[Tuple[int, Optional[int]]]],
+) -> List:
+    """Fold per-morsel scalar accumulators and finalize each aggregate."""
+    merged = [agg_semantics.empty_accumulator(func) for func in funcs]
+    for part in parts:
+        merged = [agg_semantics.merge(func, acc, cell)
+                  for func, acc, cell in zip(funcs, merged, part)]
+    return [agg_semantics.finalize(func, primary, secondary)
+            for func, (primary, secondary) in zip(funcs, merged)]
+
+
+__all__ = [
+    "eval_fact_expr",
+    "scalar_aggregate",
+    "grouped_aggregate",
+    "factorize_groups",
+    "merge_group_reductions",
+    "partial_scalar_aggregate",
+    "merge_scalar_reductions",
+]

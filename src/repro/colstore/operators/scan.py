@@ -100,9 +100,12 @@ def _succ_bytes(value: bytes, width: int) -> bytes:
     return value + b"\x00" if len(value) < width else value + b"\x00"
 
 
-def _block_window(colfile: ColumnFile, restrict: Optional[Tuple[int, int]]
-                  ) -> Tuple[int, int, int, int]:
-    """(first_block, last_block, lo_position, hi_position) to scan."""
+def block_window(colfile: ColumnFile, restrict: Optional[Tuple[int, int]]
+                 ) -> Tuple[int, int, int, int]:
+    """(first_block, last_block, lo_position, hi_position) to scan.
+
+    Public because the morsel layer uses the same window computation to
+    carve a scan into block-aligned horizontal partitions."""
     if colfile.num_values == 0:
         return 0, -1, 0, 0
     if restrict is None:
@@ -165,7 +168,7 @@ def predicate_positions(
         comparisons = 2
         if bounds[0] > bounds[1]:
             return EMPTY
-    first, last, lo_pos, hi_pos = _block_window(colfile, restrict)
+    first, last, lo_pos, hi_pos = block_window(colfile, restrict)
     if last < first:
         return EMPTY
     span = hi_pos - lo_pos
@@ -207,7 +210,7 @@ def probe_positions(
     """
     stats = pool.stats
     keys = np.sort(np.asarray(key_set))
-    first, last, lo_pos, hi_pos = _block_window(colfile, restrict)
+    first, last, lo_pos, hi_pos = block_window(colfile, restrict)
     if last < first or len(keys) == 0:
         return EMPTY
     span = hi_pos - lo_pos
@@ -243,7 +246,7 @@ def _probe(sorted_keys: np.ndarray, values: np.ndarray) -> np.ndarray:
 
 
 __all__ = ["predicate_positions", "probe_positions", "stored_bounds",
-           "sorted_predicate_positions"]
+           "sorted_predicate_positions", "block_window"]
 
 
 def sorted_predicate_positions(

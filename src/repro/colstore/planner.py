@@ -34,9 +34,11 @@ from ..core.invisible_join import (
 )
 from .operators.aggregate import (
     eval_fact_expr,
+    factorize_groups,
     grouped_aggregate,
     scalar_aggregate,
 )
+from .parallel import MorselEngine, make_engine
 from .operators.fetch import fetch_values, read_column
 from .operators.join import gather_attribute
 from .operators.materialize import (
@@ -134,9 +136,28 @@ class ColumnPlanner:
 
     # ------------------------------------------------------------------ #
     def run(self, query: StarQuery) -> ResultSet:
+        # One morsel engine per execution (None when workers == 1, which
+        # leaves every serial code path untouched).  Early materialization
+        # stays serial by design: its row pipeline is a deliberate
+        # reproduction of tuple-at-a-time execution, and parallelizing it
+        # would change nothing the paper measures.
+        self.engine: Optional[MorselEngine] = None
         if self.config.late_materialization:
-            return self._run_late(query)
-        return self._run_early(query)
+            self.engine = make_engine(self.pool, self.config)
+        try:
+            if self.config.late_materialization:
+                return self._run_late(query)
+            return self._run_early(query)
+        finally:
+            if self.engine is not None:
+                self.engine.close()
+                self.engine = None
+
+    def _fetch(self, colfile, positions) -> np.ndarray:
+        """Value fetch, morsel-parallel when an engine is active."""
+        if self.engine is not None:
+            return self.engine.fetch(colfile, positions)
+        return fetch_values(colfile, self.pool, positions, self.config)
 
     # ------------------------------------------------------------------ #
     # shared helpers
@@ -223,7 +244,7 @@ class ColumnPlanner:
         join_cls = InvisibleJoin if self.config.invisible_join \
             else LateMaterializedJoin
         join = join_cls(self.pool, self.config, fact_proj, dims, query,
-                        self.level, fact_catalog)
+                        self.level, fact_catalog, engine=self.engine)
         survivors, dim_rows = join.run()
         # kept for EXPLAIN: the join's run-time decisions
         self.last_join = join
@@ -242,8 +263,7 @@ class ColumnPlanner:
                 if ref.table == query.fact_table and \
                         ref.column not in fact_arrays:
                     colfile = fact_proj.column_file(ref.column)
-                    fact_arrays[ref.column] = fetch_values(
-                        colfile, self.pool, survivors, self.config)
+                    fact_arrays[ref.column] = self._fetch(colfile, survivors)
         agg_funcs = [a.func for a in query.aggregates]
         agg_arrays = [
             eval_fact_expr(a.expr, fact_arrays, self.stats, self.config)
@@ -253,8 +273,11 @@ class ColumnPlanner:
         ]
 
         if not query.group_by:
-            cells = scalar_aggregate(agg_arrays, self.stats, self.config,
-                                     funcs=agg_funcs)
+            if self.engine is not None:
+                cells = self.engine.scalar(agg_arrays, funcs=agg_funcs)
+            else:
+                cells = scalar_aggregate(agg_arrays, self.stats, self.config,
+                                         funcs=agg_funcs)
             columns = [a.alias for a in query.aggregates]
             return ResultSet(columns, [tuple(cells)]).order_by(
                 query.order_by).limited(query.limit)
@@ -264,8 +287,7 @@ class ColumnPlanner:
         out_of_order = not self.config.invisible_join
         for g in query.group_by:
             if g.table == query.fact_table:
-                raw = fetch_values(fact_proj.column_file(g.column), self.pool,
-                                   survivors, self.config)
+                raw = self._fetch(fact_proj.column_file(g.column), survivors)
             else:
                 side = dims[g.table]
                 attr_values = read_column(
@@ -277,10 +299,14 @@ class ColumnPlanner:
             codes, lookup = self._normalize_group_array(raw)
             group_arrays.append(codes)
             self._group_lookups.append(lookup)
-        result = self._finalize(
-            query, group_arrays,
-            grouped_aggregate(group_arrays, agg_arrays, self.stats,
-                              self.config, funcs=agg_funcs))
+        if self.engine is not None:
+            reduction = self.engine.grouped(group_arrays, agg_arrays,
+                                            funcs=agg_funcs)
+        else:
+            reduction = grouped_aggregate(group_arrays, agg_arrays,
+                                          self.stats, self.config,
+                                          funcs=agg_funcs)
+        result = self._finalize(query, group_arrays, reduction)
         del self._group_lookups
         return result
 
@@ -370,7 +396,7 @@ class ColumnPlanner:
             reduced = [(np.zeros(0, dtype=np.int64), None)
                        for _ in agg_arrays]
         else:
-            uniq, inverse = np.unique(matrix, axis=1, return_inverse=True)
+            uniq, inverse = factorize_groups(matrix)
             reduced = [
                 reduce_groups(func, values, inverse, uniq.shape[1])
                 for func, values in zip(agg_funcs, agg_arrays)

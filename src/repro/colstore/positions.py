@@ -16,7 +16,7 @@ performed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,13 +57,20 @@ class BitmapPositions:
 
     @property
     def count(self) -> int:
-        return int(self.bits.sum())
+        # count is consulted repeatedly (intersection ordering, empty
+        # checks, survivor reporting); popcount once and cache.
+        cached = self.__dict__.get("_count")
+        if cached is None:
+            cached = int(self.bits.sum())
+            object.__setattr__(self, "_count", cached)
+        return cached
 
     def bounds(self) -> Optional[Tuple[int, int]]:
-        hits = np.flatnonzero(self.bits)
-        if len(hits) == 0:
+        if len(self.bits) == 0 or self.count == 0:
             return None
-        return (self.offset + int(hits[0]), self.offset + int(hits[-1]) + 1)
+        first = int(np.argmax(self.bits))
+        last = len(self.bits) - 1 - int(np.argmax(self.bits[::-1]))
+        return (self.offset + first, self.offset + last + 1)
 
     def to_array(self) -> np.ndarray:
         return np.flatnonzero(self.bits).astype(np.int64) + self.offset
@@ -94,14 +101,21 @@ EMPTY = ArrayPositions(np.zeros(0, dtype=np.int64))
 
 
 def from_bitmap_maybe_range(offset: int, bits: np.ndarray) -> Positions:
-    """Collapse a bitmap whose set bits are contiguous into a range."""
-    hits = np.flatnonzero(bits)
-    if len(hits) == 0:
+    """Collapse a bitmap whose set bits are contiguous into a range.
+
+    Contiguity is decided from the popcount and the first/last set bit —
+    no index array is materialized just to count or bound the bitmap.
+    """
+    count = int(bits.sum())
+    if count == 0:
         return EMPTY
-    first, last = int(hits[0]), int(hits[-1])
-    if last - first + 1 == len(hits):
+    first = int(np.argmax(bits))
+    last = len(bits) - 1 - int(np.argmax(bits[::-1]))
+    if last - first + 1 == count:
         return RangePositions(offset + first, offset + last + 1)
-    return BitmapPositions(offset, bits)
+    out = BitmapPositions(offset, bits)
+    object.__setattr__(out, "_count", count)
+    return out
 
 
 def _clip_bitmap(bm: BitmapPositions, start: int, stop: int
@@ -158,6 +172,57 @@ def intersect(a: Positions, b: Positions, stats: QueryStats) -> Positions:
     return ArrayPositions(common)
 
 
+def slice_window(positions: Positions, lo: int, hi: int) -> Positions:
+    """The sub-list of ``positions`` falling inside [lo, hi).
+
+    Used by the morsel layer to hand each worker its share of a
+    position list.  This is a physical split of disjoint windows, not a
+    predicate evaluation, so no ``position_ops`` are charged.
+    """
+    if hi <= lo or positions.count == 0:
+        return EMPTY
+    if isinstance(positions, RangePositions):
+        start, stop = max(positions.start, lo), min(positions.stop, hi)
+        return RangePositions(start, stop) if stop > start else EMPTY
+    if isinstance(positions, BitmapPositions):
+        clipped = _clip_bitmap(positions, lo, hi)
+        if len(clipped.bits) == 0:
+            return EMPTY
+        return from_bitmap_maybe_range(clipped.offset, clipped.bits)
+    arr = positions.positions
+    a = int(np.searchsorted(arr, lo, side="left"))
+    b = int(np.searchsorted(arr, hi, side="left"))
+    return ArrayPositions(arr[a:b]) if b > a else EMPTY
+
+
+def concat_windows(parts: Sequence[Positions], lo: int, hi: int) -> Positions:
+    """Reassemble per-window position lists back into one list over
+    [lo, hi).
+
+    The windows must be disjoint and ascending (the morsel invariant).
+    The result is exactly what a serial scan of the whole window would
+    have produced — including the bitmap-to-range collapse — so parallel
+    and serial plans hand identical representations downstream.
+    """
+    live = [p for p in parts if p.count != 0]
+    if not live:
+        return EMPTY
+    if hi <= lo:
+        raise ExecutionError(f"invalid concat window [{lo}, {hi})")
+    if len(live) == 1 and isinstance(live[0], RangePositions):
+        return live[0]
+    bits = np.zeros(hi - lo, dtype=bool)
+    for part in live:
+        if isinstance(part, RangePositions):
+            bits[part.start - lo:part.stop - lo] = True
+        elif isinstance(part, BitmapPositions):
+            off = part.offset - lo
+            bits[off:off + len(part.bits)] = part.bits
+        else:
+            bits[part.positions - lo] = True
+    return from_bitmap_maybe_range(lo, bits)
+
+
 def intersect_all(lists, stats: QueryStats) -> Positions:
     """Fold :func:`intersect` over a sequence, cheapest-first."""
     items = sorted(lists, key=lambda p: p.count)
@@ -180,4 +245,6 @@ __all__ = [
     "intersect",
     "intersect_all",
     "from_bitmap_maybe_range",
+    "slice_window",
+    "concat_windows",
 ]

@@ -18,7 +18,7 @@ the paper's order: tICL, TICL, tiCL, TiCL, ticL, TicL, Ticl.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..errors import PlanError
 
@@ -44,12 +44,29 @@ class ExecutionConfig:
     #: second predicate must be applied".  True (default) pipelines;
     #: False applies every predicate over the full column and ANDs.
     pipelined_predicates: bool = True
+    #: morsel parallelism: number of worker threads evaluating scans,
+    #: fetches and aggregation in horizontal partitions.  1 (default)
+    #: takes the unchanged serial code path, so every paper ablation is
+    #: bit-for-bit what it was before this knob existed.  Not part of
+    #: the four-letter label: it changes wall-clock, never the plan,
+    #: the results, or the simulated I/O ledger.
+    workers: int = 1
+    #: override the morsel size (rows per horizontal partition).  None
+    #: splits each operator's position space evenly across ``workers``;
+    #: explicit sizes are snapped up to storage block boundaries.
+    morsel_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.invisible_join and not self.late_materialization:
             raise PlanError(
                 "the invisible join requires late materialization "
                 "(early materialization implies row-style execution)"
+            )
+        if self.workers < 1:
+            raise PlanError(f"workers must be >= 1, got {self.workers}")
+        if self.morsel_rows is not None and self.morsel_rows < 1:
+            raise PlanError(
+                f"morsel_rows must be >= 1, got {self.morsel_rows}"
             )
 
     @property

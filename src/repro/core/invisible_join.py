@@ -34,7 +34,7 @@ from __future__ import annotations
 import enum
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from ..colstore.positions import (
     intersect,
 )
 from .config import ExecutionConfig
+
+if TYPE_CHECKING:  # avoid an import at module load; only used for typing
+    from ..colstore.parallel import MorselEngine
 
 
 class JoinStrategy(enum.Enum):
@@ -110,6 +113,7 @@ class _JoinBase:
         dims: Dict[str, DimensionSide],
         query: StarQuery,
         level: CompressionLevel,
+        engine: Optional["MorselEngine"] = None,
     ) -> None:
         self.pool = pool
         self.config = config
@@ -117,10 +121,36 @@ class _JoinBase:
         self.dims = dims
         self.query = query
         self.level = level
+        #: morsel engine for fact-table scans and fetches (None = serial).
+        #: Dimension-side work stays serial: dimension tables are small
+        #: and phase 1 is never the bottleneck.
+        self.engine = engine
 
     @property
     def stats(self) -> QueryStats:
         return self.pool.stats
+
+    # ------------------------------------------------------------------ #
+    # fact-side operator dispatch (serial or morsel-parallel)
+    # ------------------------------------------------------------------ #
+    def _fact_predicate_scan(self, colfile, domain, restrict) -> Positions:
+        if self.engine is not None:
+            return self.engine.predicate_scan(colfile, domain,
+                                              restrict=restrict)
+        return predicate_positions(colfile, self.pool, domain, self.config,
+                                   restrict=restrict)
+
+    def _fact_probe_scan(self, colfile, key_set, restrict) -> Positions:
+        if self.engine is not None:
+            return self.engine.probe_scan(colfile, key_set,
+                                          restrict=restrict)
+        return probe_positions(colfile, self.pool, key_set, self.config,
+                               restrict=restrict)
+
+    def _fact_fetch(self, colfile, positions: Positions) -> np.ndarray:
+        if self.engine is not None:
+            return self.engine.fetch(colfile, positions)
+        return fetch_values(colfile, self.pool, positions, self.config)
 
     # ------------------------------------------------------------------ #
     # phase 1: dimension filtering
@@ -208,18 +238,16 @@ class _JoinBase:
             colfile = self.fact.column_file(column)
             if dim_filter is not None and \
                     dim_filter.strategy is JoinStrategy.HASH:
-                plist = probe_positions(colfile, self.pool,
-                                        dim_filter.key_set, self.config,
-                                        restrict=restrict)
+                plist = self._fact_probe_scan(colfile, dim_filter.key_set,
+                                              restrict)
             elif (self.config.sorted_binary_search
                   and self.fact.sorted_on(column) == 0
                   and isinstance(domain, tuple)):
+                # O(log #blocks) page reads; nothing to parallelize
                 plist = sorted_predicate_positions(colfile, self.pool,
                                                    domain, self.config)
             else:
-                plist = predicate_positions(colfile, self.pool, domain,
-                                            self.config,
-                                            restrict=restrict)
+                plist = self._fact_predicate_scan(colfile, domain, restrict)
             acc = intersect(acc, plist, self.stats)
             if pipelined and acc.count == 0:
                 return EMPTY
@@ -231,8 +259,10 @@ class InvisibleJoin(_JoinBase):
 
     def __init__(self, pool, config, fact_projection, dims, query, level,
                  fact_catalog: Dict[str, Column],
-                 allow_between: bool = True) -> None:
-        super().__init__(pool, config, fact_projection, dims, query, level)
+                 allow_between: bool = True,
+                 engine: Optional["MorselEngine"] = None) -> None:
+        super().__init__(pool, config, fact_projection, dims, query, level,
+                         engine=engine)
         self.fact_catalog = fact_catalog
         self.allow_between = (allow_between and config.invisible_join
                               and config.between_rewriting)
@@ -285,8 +315,7 @@ class InvisibleJoin(_JoinBase):
         for dim_name in sorted(group_dims):
             dim = self.dims[dim_name]
             fk_file = self.fact.column_file(query.fk_of(dim_name))
-            fk_values = fetch_values(fk_file, self.pool, survivors,
-                                     self.config).astype(np.int64)
+            fk_values = self._fact_fetch(fk_file, survivors).astype(np.int64)
             if dim.contiguous_from is not None:
                 rows = dimension_rows_for_keys(
                     fk_values, self.stats, self.config, dim.contiguous_from)
@@ -311,8 +340,10 @@ class LateMaterializedJoin(_JoinBase):
     """
 
     def __init__(self, pool, config, fact_projection, dims, query, level,
-                 fact_catalog: Dict[str, Column]) -> None:
-        super().__init__(pool, config, fact_projection, dims, query, level)
+                 fact_catalog: Dict[str, Column],
+                 engine: Optional["MorselEngine"] = None) -> None:
+        super().__init__(pool, config, fact_projection, dims, query, level,
+                         engine=engine)
         self.fact_catalog = fact_catalog
         self.filters: Dict[str, DimensionFilter] = {}
 
@@ -347,8 +378,7 @@ class LateMaterializedJoin(_JoinBase):
         for dim_name in sorted(group_dims):
             dim = self.dims[dim_name]
             fk_file = self.fact.column_file(query.fk_of(dim_name))
-            fk_values = fetch_values(fk_file, self.pool, survivors,
-                                     self.config).astype(np.int64)
+            fk_values = self._fact_fetch(fk_file, survivors).astype(np.int64)
             # the LM join resolves dimension rows by hash lookup even for
             # contiguous keys — it has no key/position equivalence notion
             keys = read_column(dim.projection.column_file(dim.key_column),

@@ -44,11 +44,21 @@ class BufferPool:
         self.disk = disk
         self.capacity_pages = capacity_bytes // PAGE_SIZE
         self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        #: lifetime effectiveness counters (never reset by :meth:`clear`,
+        #: unlike the per-query ledger's ``buffer_hits``/``pages_read``)
+        self.hits = 0
+        self.misses = 0
 
     @property
     def stats(self) -> QueryStats:
         """The active ledger (shared with the disk)."""
         return self.disk.stats
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of page requests served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -60,9 +70,11 @@ class BufferPool:
         if cached is not None:
             self._pages.move_to_end(key)
             self.stats.buffer_hits += 1
+            self.hits += 1
             return cached
         payload = self.disk.read_page(name, page_no)
         self._insert(key, payload)
+        self.misses += 1
         return payload
 
     def scan_pages(

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import StorageError
-from .stats import QueryStats
+from .stats import NUM_STRIPE_DISKS, QueryStats
 
 #: Page size used throughout (the paper's System X uses 32 KB pages).
 PAGE_SIZE = 32 * 1024
@@ -55,6 +55,12 @@ class SimulatedDisk:
         # (file name, page number) of the most recent physical access, used
         # to decide whether the next access is sequential.
         self._head: Optional[Tuple[str, int]] = None
+        # Page i of a file lives on stripe disk i mod 4; each drive has
+        # its own arm, tracked as (file name, local page number).  A
+        # sequential logical run is sequential on every member drive,
+        # so the whole stripe pays one positioning per drive per stream.
+        self._stripe_heads: List[Optional[Tuple[str, int]]] = \
+            [None] * NUM_STRIPE_DISKS
 
     # ------------------------------------------------------------------ #
     # file management
@@ -134,10 +140,16 @@ class SimulatedDisk:
         self.stats.bytes_read += PAGE_SIZE
         self.stats.pages_read += 1
         self._head = (name, page_no + 1)
+        disk_no = page_no % NUM_STRIPE_DISKS
+        local = page_no // NUM_STRIPE_DISKS
+        seek = self._stripe_heads[disk_no] != (name, local)
+        self.stats.charge_stripe_read(disk_no, PAGE_SIZE, seek)
+        self._stripe_heads[disk_no] = (name, local + 1)
 
     def reset_head(self) -> None:
         """Forget head position (e.g. between queries)."""
         self._head = None
+        self._stripe_heads = [None] * NUM_STRIPE_DISKS
 
 
 __all__ = ["SimulatedDisk", "DiskFile", "PAGE_SIZE"]

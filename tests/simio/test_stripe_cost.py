@@ -1,0 +1,129 @@
+"""Per-disk attribution over the 4-disk stripe and its cost charging.
+
+The legacy aggregate-bandwidth ``io_seconds`` (which every EXPERIMENTS.md
+ratio is built on) must stay untouched; ``io_elapsed_seconds`` prices the
+same ledger as the per-disk critical path.
+"""
+
+import numpy as np
+
+from repro.simio.buffer_pool import BufferPool
+from repro.simio.disk import PAGE_SIZE, SimulatedDisk
+from repro.simio.stats import (
+    CostModel,
+    NUM_STRIPE_DISKS,
+    QueryStats,
+)
+
+
+def _disk_with_pages(n):
+    disk = SimulatedDisk(QueryStats())
+    disk.create("f")
+    for i in range(n):
+        disk.append_page("f", bytes([i % 251]) * 64)
+    disk.stats.reset()  # drop the load's write charges
+    return disk
+
+
+def test_sequential_scan_balances_the_stripe():
+    disk = _disk_with_pages(16)
+    for page in range(16):
+        disk.read_page("f", page)
+    assert disk.stats.stripe_bytes() == [4 * PAGE_SIZE] * NUM_STRIPE_DISKS
+    # one positioning per drive for the whole stream
+    assert disk.stats.stripe_seeks() == [1] * NUM_STRIPE_DISKS
+    assert sum(disk.stats.stripe_bytes()) == disk.stats.bytes_read
+
+
+def test_single_page_read_charges_one_drive():
+    disk = _disk_with_pages(8)
+    disk.read_page("f", 6)  # page 6 lives on drive 6 % 4 == 2
+    assert disk.stats.stripe_bytes() == [0, 0, PAGE_SIZE, 0]
+    assert disk.stats.stripe_seeks() == [0, 0, 1, 0]
+
+
+def test_striped_io_is_critical_path_not_sum():
+    model = CostModel()
+    stats = QueryStats()
+    for page in range(16):
+        stats.charge_stripe_read(page % NUM_STRIPE_DISKS, PAGE_SIZE,
+                                 seek=page < NUM_STRIPE_DISKS)
+    stats.bytes_read = 16 * PAGE_SIZE
+    stats.seeks = 1
+    per_disk_mbps = model.seq_mbps / NUM_STRIPE_DISKS
+    expected = (4 * PAGE_SIZE) / (per_disk_mbps * 1024 * 1024) \
+        + model.seek_seconds
+    assert model.striped_io_seconds(stats) == expected
+    # balanced sequential work: critical path ~= the aggregate charge
+    assert np.isclose(model.striped_io_seconds(stats),
+                      model.io_seconds(stats), rtol=0.05)
+
+
+def test_unbalanced_access_priced_by_slowest_drive():
+    model = CostModel()
+    stats = QueryStats()
+    # 8 pages, all landing on drive 0 (e.g. page numbers 0,4,8,...)
+    for _ in range(8):
+        stats.charge_stripe_read(0, PAGE_SIZE, seek=True)
+    per_disk_mbps = model.seq_mbps / NUM_STRIPE_DISKS
+    expected = 8 * PAGE_SIZE / (per_disk_mbps * 1024 * 1024) \
+        + 8 * model.seek_seconds
+    assert model.striped_io_seconds(stats) == expected
+
+
+def test_hand_built_stats_fall_back_to_legacy_formula():
+    """Ledgers without per-disk attribution (hand-built, pre-stripe)
+    keep pricing exactly as before."""
+    model = CostModel()
+    stats = QueryStats(bytes_read=10 * PAGE_SIZE, seeks=3)
+    assert model.striped_io_seconds(stats) is None
+    cost = model.cost(stats)
+    assert cost.io_elapsed_seconds is None
+    assert cost.elapsed_seconds == cost.total_seconds
+
+
+def test_total_seconds_unchanged_by_stripe_fields():
+    """The paper-comparable number never depends on stripe counters."""
+    model = CostModel()
+    plain = QueryStats(bytes_read=8 * PAGE_SIZE, seeks=2)
+    striped = QueryStats(bytes_read=8 * PAGE_SIZE, seeks=2)
+    for page in range(8):
+        striped.charge_stripe_read(page % NUM_STRIPE_DISKS, PAGE_SIZE,
+                                   seek=page < NUM_STRIPE_DISKS)
+    assert model.cost(striped).total_seconds == \
+        model.cost(plain).total_seconds
+
+
+def test_stripe_counters_merge_and_reset():
+    a = QueryStats()
+    a.charge_stripe_read(1, PAGE_SIZE, seek=True)
+    b = QueryStats()
+    b.charge_stripe_read(1, PAGE_SIZE, seek=False)
+    b.charge_stripe_read(3, PAGE_SIZE, seek=True)
+    a.merge(b)
+    assert a.stripe_bytes() == [0, 2 * PAGE_SIZE, 0, PAGE_SIZE]
+    assert a.stripe_seeks() == [0, 1, 0, 1]
+    a.reset()
+    assert a.stripe_bytes() == [0] * NUM_STRIPE_DISKS
+
+
+def test_reset_head_also_resets_stripe_heads():
+    disk = _disk_with_pages(8)
+    disk.read_page("f", 0)
+    disk.reset_head()
+    disk.read_page("f", 4)  # same drive, would be sequential-local without
+    assert disk.stats.stripe_seeks()[0] == 2  # reset forced a repositioning
+
+
+def test_buffer_pool_lifetime_hit_counters():
+    disk = _disk_with_pages(8)
+    pool = BufferPool(disk, capacity_bytes=8 * PAGE_SIZE)
+    assert pool.hit_rate == 0.0
+    pool.read_page("f", 0)
+    pool.read_page("f", 0)
+    pool.read_page("f", 1)
+    assert pool.misses == 2
+    assert pool.hits == 1
+    assert pool.hit_rate == 1 / 3
+    pool.clear()  # clear drops pages but keeps lifetime counters
+    assert pool.hits == 1 and pool.misses == 2

@@ -68,13 +68,21 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path for the 'report' target "
                              "(default: stdout)")
+    parser.add_argument("--fault-profile", default=None,
+                        help="inject faults from this seeded profile "
+                             "(transient|bitflip|torn|mixed); queries "
+                             "retry, recover, or fail with typed errors")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for --fault-profile (default 0)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
     harness = Harness(scale_factor=args.sf,
                       verify_against_reference=args.verify,
-                      workers=args.workers)
+                      workers=args.workers,
+                      fault_profile=args.fault_profile,
+                      fault_seed=args.fault_seed)
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}")

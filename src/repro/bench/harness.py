@@ -76,7 +76,9 @@ class Harness:
     def __init__(self, scale_factor: Optional[float] = None,
                  seed: int = DEFAULT_SEED,
                  verify_against_reference: bool = False,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 fault_profile: Optional[str] = None,
+                 fault_seed: int = 0) -> None:
         self.scale_factor = (scale_factor if scale_factor is not None
                              else scale_factor_from_env())
         self.seed = seed
@@ -84,6 +86,11 @@ class Harness:
         #: morsel workers for column-store runs (1 = serial).  Parallel
         #: runs charge the same simulated ledger — only wall-clock moves.
         self.workers = workers
+        #: optional seeded fault schedule installed on each engine's disk
+        #: right after it is built (see :mod:`repro.simio.faults`);
+        #: tables loaded later (e.g. denormalized ones) are not corrupted
+        self.fault_profile = fault_profile
+        self.fault_seed = fault_seed
         self._data: Optional[SsbData] = None
         self._system_x: Optional[SystemX] = None
         self._built_designs: set = set()
@@ -101,10 +108,19 @@ class Harness:
             self._data = load_or_generate(self.scale_factor, self.seed)
         return self._data
 
+    def _install_faults(self, disk) -> None:
+        if self.fault_profile is None:
+            return
+        from ..simio.faults import injector_from_profile
+
+        injector_from_profile(self.fault_profile, self.fault_seed) \
+            .install(disk)
+
     def system_x(self, designs: Sequence[DesignKind]) -> SystemX:
         if self._system_x is None:
             self._system_x = SystemX(self.data, designs=list(designs))
             self._built_designs = set(designs)
+            self._install_faults(self._system_x.disk)
         else:
             for design in designs:
                 if design not in self._built_designs:
@@ -116,6 +132,7 @@ class Harness:
         if self._cstore is None:
             self._cstore = CStore(self.data, row_mv=row_mv)
             self._cstore_row_mv = row_mv
+            self._install_faults(self._cstore.disk)
         elif row_mv and not self._cstore_row_mv:
             for flight in (1, 2, 3, 4):
                 self._cstore.load_row_mv(flight)

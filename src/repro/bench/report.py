@@ -113,6 +113,9 @@ def render_cost_breakdown(stats, model, title: str = "") -> str:
         ("bytes_read (transfer)", stats.bytes_read, io_transfer),
         ("seeks", stats.seeks, io_seek),
     ]
+    if stats.retry_backoff_us:
+        rows.append(("retry backoff (us)", stats.retry_backoff_us,
+                     stats.retry_backoff_us * 1e-6))
     for counter, constant in _CPU_TERMS:
         count = getattr(stats, counter)
         if count:

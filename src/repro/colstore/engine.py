@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import PlanError
+from ..errors import ChecksumError, CorruptPageError, PlanError
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.buffer_pool import BufferPool
@@ -161,14 +161,25 @@ class CStore:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def _context(self) -> StoreContext:
+    def _context(self, forbidden: Optional[set] = None) -> StoreContext:
         return StoreContext(
             pool=self.pool,
             projections=self._projections,
             tables=self._tables,
             dim_key_contiguous=self._contiguous,
             dim_key_monotonic=self._monotonic,
+            forbidden=forbidden,
         )
+
+    def find_owner(self, file_name: str
+                   ) -> Optional[Tuple[Projection, str]]:
+        """Which (projection, column) a disk file belongs to, if any."""
+        for candidates in self._projections.values():
+            for projection in candidates:
+                column = projection.column_for_file(file_name)
+                if column is not None:
+                    return projection, column
+        return None
 
     def execute(
         self,
@@ -184,17 +195,57 @@ class CStore:
         keeps dictionary codes but no further compression).
         ``cold_pool=False`` keeps the pool warm across runs (the
         paper's Section 6.1 measurement protocol).
+
+        Degrades gracefully under persistent corruption: when a read
+        hits a quarantined/corrupt page of a projection and another
+        projection of the same table exists at the same level, the query
+        restarts planned around the damaged projection (counted in
+        ``stats.recoveries``).  When no redundancy remains the query
+        fails with a structured :class:`CorruptPageError` — never a
+        silently wrong result.
         """
-        stats = QueryStats()
-        self.disk.stats = stats
-        # cold pool per query: order-independent, deterministic ledgers
-        if cold_pool:
-            self.pool.clear()
-        else:
-            self.disk.reset_head()
-        planner = ColumnPlanner(self._context(), config, level)
-        result = planner.run(query)
-        return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+        forbidden: set = set()
+        recoveries = 0
+        while True:
+            stats = QueryStats()
+            self.disk.stats = stats
+            # cold pool per query: order-independent, deterministic ledgers
+            if cold_pool:
+                self.pool.clear()
+            else:
+                self.disk.reset_head()
+            planner = ColumnPlanner(self._context(forbidden), config, level)
+            try:
+                result = planner.run(query)
+            except ChecksumError as error:
+                forbidden, recoveries = self._plan_recovery(
+                    error, forbidden, recoveries)
+                continue
+            stats.recoveries += recoveries
+            return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+
+    def _plan_recovery(self, error: ChecksumError, forbidden: set,
+                       recoveries: int) -> Tuple[set, int]:
+        """Decide how to continue after a persistent corrupt page.
+
+        Returns the updated (forbidden projections, recovery count) when
+        an alternative projection can serve the damaged one's table, or
+        raises :class:`CorruptPageError` when none can.
+        """
+        owner = self.find_owner(error.file)
+        if owner is not None:
+            victim, _column = owner
+            alternatives = [
+                p for p in self._projections.get(
+                    (victim.table_name, victim.level), [])
+                if p.name != victim.name and p.name not in forbidden
+            ]
+            if alternatives:
+                return forbidden | {victim.name}, recoveries + 1
+        raise CorruptPageError(
+            error.file, error.page_no, error.disk_no,
+            detail="no redundant projection covers this file",
+        ) from error
 
     def storage_bytes(self) -> int:
         return self.disk.total_bytes
@@ -215,8 +266,19 @@ class CStore:
 
         saved = self.disk.stats
         self.disk.stats = QueryStats()
+        forbidden: set = set()
+        recoveries = 0
         try:
-            return _explain(self._context(), query, config, level)
+            while True:
+                try:
+                    return _explain(self._context(forbidden), query, config,
+                                    level)
+                except ChecksumError as error:
+                    # same failover contract as execute(): plan around the
+                    # damaged projection or raise CorruptPageError
+                    forbidden, recoveries = self._plan_recovery(
+                        error, forbidden, recoveries)
+                    self.disk.stats.recoveries = recoveries
         finally:
             self.disk.stats = saved
 
@@ -244,6 +306,17 @@ class CStore:
     def execute_row_mv(self, query: StarQuery) -> ColumnStoreRun:
         """Figure 5's "CS (Row-MV)": scan the row-blob column, reconstruct
         tuples, then run the row-style pipeline (no partition pruning)."""
+        try:
+            return self._execute_row_mv(query)
+        except ChecksumError as error:
+            # Row-MV blobs are stored once; a persistently corrupt page
+            # has no redundant projection to recover from.
+            raise CorruptPageError(
+                error.file, error.page_no, error.disk_no,
+                detail="row-MV data has no redundant copy",
+            ) from error
+
+    def _execute_row_mv(self, query: StarQuery) -> ColumnStoreRun:
         flight = FLIGHT_OF.get(query.name)
         if flight is None or flight not in self._row_mv:
             raise PlanError(

@@ -47,6 +47,14 @@ def explain(
     lines.append(
         f"  buffer pool: {total} page read(s), {stats.pages_read} miss(es), "
         f"{stats.buffer_hits} hit(s) ({rate:.1%} hit rate)")
+    if (stats.io_retries or stats.checksum_failures
+            or stats.pages_quarantined or stats.recoveries):
+        lines.append(
+            f"  fault recovery: {stats.io_retries} retried read(s) "
+            f"({stats.retry_backoff_us} us backoff), "
+            f"{stats.checksum_failures} checksum failure(s), "
+            f"{stats.pages_quarantined} page(s) quarantined, "
+            f"{stats.recoveries} projection failover(s)")
     if config.workers > 1:
         lines.append(
             f"  morsel parallelism: {config.workers} worker(s)"

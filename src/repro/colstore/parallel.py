@@ -40,7 +40,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 import numpy as np
 
 from ..core.config import ExecutionConfig
-from ..simio.buffer_pool import BufferPool
+from ..errors import ReproError
+from ..simio.buffer_pool import BufferPool, fill_page
 from ..simio.stats import QueryStats
 from ..storage.colfile import ColumnFile
 from .operators.aggregate import (
@@ -70,16 +71,27 @@ class TracePool:
     so the coordinator can replay it through the real pool at the
     barrier.  CPU-side charges made by operators land on the private
     ``stats`` ledger and are merged at the same point.
+
+    Reads go through the same fault-aware
+    :func:`~repro.simio.buffer_pool.fill_page` loop as the buffer
+    pool's miss path: transient faults are retried (on the private
+    ledger), checksums are verified, and each trace entry carries the
+    number of physical attempts so the replay can bill the retries.
+    The fault injector's per-page transient budgets are consumed by the
+    worker's reads (the injector is thread-safe), so the replay reads
+    succeed.
     """
 
     def __init__(self, pool: BufferPool) -> None:
         self._disk = pool.disk
         self.stats = QueryStats()
-        self.trace: List[Tuple[str, int]] = []
+        self.trace: List[Tuple[str, int, int]] = []
 
     def read_page(self, name: str, page_no: int) -> bytes:
-        self.trace.append((name, page_no))
-        return self._disk.file(name).pages[page_no]
+        payload, attempts = fill_page(self._disk, name, page_no,
+                                      self.stats, charge=False)
+        self.trace.append((name, page_no, attempts))
+        return payload
 
     def scan_pages(self, name: str, start: int = 0,
                    stop: Optional[int] = None):
@@ -152,11 +164,25 @@ class MorselEngine:
     def _map(self, task: Callable[..., Tuple[T, TracePool]],
              items: Sequence) -> List[T]:
         futures = [self._executor.submit(task, item) for item in items]
-        outs = [f.result() for f in futures]  # submission (morsel) order
+        outs: List[Tuple[T, TracePool]] = []
+        first_error: Optional[ReproError] = None
+        for f in futures:  # submission (morsel) order
+            try:
+                outs.append(f.result())
+            except ReproError as error:
+                # Keep draining: the barrier must wait for every worker
+                # anyway, and the surviving morsels' traces still replay
+                # so the ledger reflects the I/O actually performed.
+                # Morsel order makes "first" deterministic for a given
+                # fault schedule.
+                if first_error is None:
+                    first_error = error
         for _result, tp in outs:
-            for name, page_no in tp.trace:
-                self.pool.read_page(name, page_no)
+            for name, page_no, attempts in tp.trace:
+                self.pool.replay_read(name, page_no, attempts)
             self.pool.stats.merge(tp.stats)
+        if first_error is not None:
+            raise first_error
         return [result for result, _tp in outs]
 
     def _map_compute(self, task: Callable[[QueryStats, T], object],

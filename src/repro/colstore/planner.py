@@ -61,22 +61,34 @@ class StoreContext:
         tables: Dict[str, "object"],  # name -> storage Table
         dim_key_contiguous: Dict[str, Optional[int]],
         dim_key_monotonic: Dict[str, bool],
+        forbidden: Optional[set] = None,
     ) -> None:
         self.pool = pool
         self.projections = projections
         self.tables = tables
         self.dim_key_contiguous = dim_key_contiguous
         self.dim_key_monotonic = dim_key_monotonic
+        #: projection names the engine's recovery loop has ruled out
+        #: (a page of theirs is quarantined); the planner plans around
+        #: them as long as an alternative projection exists
+        self.forbidden: set = forbidden if forbidden is not None else set()
 
     def candidates(self, table: str, level: CompressionLevel
                    ) -> List[Projection]:
         try:
-            return self.projections[(table, level)]
+            loaded = self.projections[(table, level)]
         except KeyError:
             raise PlanError(
                 f"no projection loaded for table {table!r} at level "
                 f"{level.value!r}"
             ) from None
+        usable = [p for p in loaded if p.name not in self.forbidden]
+        if not usable:
+            raise PlanError(
+                f"every projection for table {table!r} at level "
+                f"{level.value!r} is ruled out by corrupt pages"
+            )
+        return usable
 
     def projection(self, table: str, level: CompressionLevel) -> Projection:
         """The table's primary (first-loaded) projection."""

@@ -29,6 +29,58 @@ class PageFormatError(StorageError):
     """A slotted page is corrupt or an offset is out of bounds."""
 
 
+class ChecksumError(StorageError):
+    """A page image failed CRC verification on its way out of the disk.
+
+    Carries the file, page number, and stripe disk so callers can decide
+    whether a redundant copy exists (``file``/``page_no``/``disk_no``).
+    """
+
+    def __init__(self, file: str, page_no: int, disk_no: int,
+                 detail: str = "") -> None:
+        message = (f"checksum mismatch on {file!r} page {page_no} "
+                   f"(stripe disk {disk_no})")
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.file = file
+        self.page_no = page_no
+        self.disk_no = disk_no
+
+
+class TransientIOError(StorageError):
+    """A page read failed transiently; retrying may succeed."""
+
+    def __init__(self, file: str, page_no: int) -> None:
+        super().__init__(f"transient read error on {file!r} page {page_no}")
+        self.file = file
+        self.page_no = page_no
+
+
+class CorruptPageError(StorageError):
+    """A page is persistently corrupt and no redundant copy could serve it.
+
+    This is the structured, *final* verdict the engines raise instead of
+    ever returning a silently wrong answer: it names the file, the page,
+    and the stripe disk the page lives on.
+    """
+
+    def __init__(self, file: str, page_no: int, disk_no: int,
+                 detail: str = "") -> None:
+        message = (f"corrupt page {page_no} of {file!r} "
+                   f"(stripe disk {disk_no})")
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.file = file
+        self.page_no = page_no
+        self.disk_no = disk_no
+
+
+class ScrubError(StorageError):
+    """The scrubber was misconfigured or could not complete an audit."""
+
+
 class EncodingError(StorageError):
     """A compression codec cannot encode/decode the given data."""
 

@@ -117,14 +117,16 @@ class BPlusTree:
             if n == 0:
                 break
         # patch next-leaf pointers: leaves were appended consecutively, so
-        # leaf i's successor is leaf i+1; rewrite headers in place.
+        # leaf i's successor is leaf i+1; rewrite headers in place
+        # (rewrite_page keeps the stored page checksums consistent).
         f = disk.file(name)
         for i, page_no in enumerate(leaf_pages):
             nxt = leaf_pages[i + 1] if i + 1 < len(leaf_pages) else 0xFFFFFFFF
             old = f.pages[page_no]
             magic, count, _ = _PAGE_HEADER.unpack_from(old, 0)
-            f.pages[page_no] = _PAGE_HEADER.pack(magic, count, nxt) + \
-                old[_PAGE_HEADER.size:]
+            disk.rewrite_page(
+                name, page_no,
+                _PAGE_HEADER.pack(magic, count, nxt) + old[_PAGE_HEADER.size:])
 
         # --- internal levels ---
         height = 1

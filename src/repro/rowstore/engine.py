@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..errors import PlanError
+from ..errors import ChecksumError, CorruptPageError, PlanError
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.buffer_pool import BufferPool
@@ -157,10 +157,19 @@ class SystemX:
         spill = SpillAccountant(self.disk, self.join_memory_bytes)
         planner = RowPlanner(self.pool, self.artifacts, self.data, spill,
                              statistics=self.statistics)
-        result = planner.run(query, design,
-                             prune_partitions=prune_partitions,
-                             vp_join=vp_join,
-                             vp_super_tuples=vp_super_tuples)
+        try:
+            result = planner.run(query, design,
+                                 prune_partitions=prune_partitions,
+                                 vp_join=vp_join,
+                                 vp_super_tuples=vp_super_tuples)
+        except ChecksumError as error:
+            # The row store keeps one copy of every artifact — there is
+            # no redundant projection to re-plan against, so a persistent
+            # corrupt page is final (but typed, never a wrong result).
+            raise CorruptPageError(
+                error.file, error.page_no, error.disk_no,
+                detail="row-store artifacts have no redundant copy",
+            ) from error
         return RowStoreRun(result, stats, self.cost_model.cost(stats))
 
     def storage_bytes(self) -> int:

@@ -70,7 +70,10 @@ class Shell:
                 return self._command(line)
             return self._run(self._to_query(line))
         except ReproError as error:
-            return f"error: {error}"
+            # one structured line — class + first message line — instead
+            # of a raw traceback; every engine error is a ReproError
+            message = str(error).splitlines()[0] if str(error) else ""
+            return f"error: {type(error).__name__}: {message}"
 
     # ------------------------------------------------------------------ #
     def _to_query(self, text: str) -> StarQuery:

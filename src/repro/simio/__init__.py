@@ -15,8 +15,9 @@ package provides the equivalent substrate for the reproduction:
 """
 
 from .stats import QueryStats, CostModel, CostBreakdown
-from .disk import SimulatedDisk, PAGE_SIZE
-from .buffer_pool import BufferPool
+from .disk import SimulatedDisk, PAGE_SIZE, page_checksum, stripe_of
+from .buffer_pool import BufferPool, MAX_READ_RETRIES, fill_page
+from .faults import FaultInjector, FaultPolicy, PROFILES, injector_from_profile
 
 __all__ = [
     "QueryStats",
@@ -25,4 +26,12 @@ __all__ = [
     "SimulatedDisk",
     "BufferPool",
     "PAGE_SIZE",
+    "page_checksum",
+    "stripe_of",
+    "MAX_READ_RETRIES",
+    "fill_page",
+    "FaultInjector",
+    "FaultPolicy",
+    "PROFILES",
+    "injector_from_profile",
 ]

@@ -15,12 +15,75 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
-from ..errors import StorageError
-from .disk import PAGE_SIZE, SimulatedDisk
+from ..errors import ChecksumError, StorageError, TransientIOError
+from .disk import PAGE_SIZE, SimulatedDisk, stripe_of
 from .stats import QueryStats
 
 #: Default capacity, matching the paper's System X configuration.
 DEFAULT_CAPACITY_BYTES = 500 * 1024 * 1024
+
+#: How many times a single page read is retried after a fault before the
+#: error becomes final (transient errors propagate as
+#: :class:`TransientIOError`; checksum mismatches quarantine the page and
+#: propagate as :class:`ChecksumError`).
+MAX_READ_RETRIES = 4
+
+#: Capped exponential backoff schedule: 100 µs, 200, 400, 800, then flat
+#: at 1600 µs.  Charged to the ledger's ``retry_backoff_us`` counter and
+#: folded into simulated I/O seconds by the cost model.
+_BACKOFF_BASE_US = 100
+_BACKOFF_CAP_US = 1600
+
+
+def _backoff_us(attempt: int) -> int:
+    """Backoff charged after the ``attempt``-th failed read (1-based)."""
+    return min(_BACKOFF_BASE_US * (2 ** (attempt - 1)), _BACKOFF_CAP_US)
+
+
+def fill_page(disk: SimulatedDisk, name: str, page_no: int,
+              stats: QueryStats, charge: bool = True) -> Tuple[bytes, int]:
+    """Read one page from ``disk`` with retry, backoff, and verification.
+
+    This is the single fault-aware read loop shared by the buffer pool's
+    miss path and the parallel trace pool.  Returns ``(payload,
+    attempts)`` where ``attempts`` counts every physical read performed
+    (1 on a clean first read).  Raises:
+
+    * :class:`TransientIOError` once transient retries are exhausted;
+    * :class:`ChecksumError` when the page image persistently fails CRC
+      verification — the page is quarantined first, so later reads fail
+      fast without re-reading garbage.
+
+    ``charge=False`` performs charge-free reads (the morsel workers'
+    mode); retry bookkeeping still lands on ``stats``, which in that mode
+    is the worker's private ledger, merged at the barrier.
+    """
+    if disk.is_quarantined(name, page_no):
+        raise ChecksumError(name, page_no, stripe_of(page_no),
+                            detail="page is quarantined")
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            if charge:
+                payload = disk.read_page(name, page_no)
+            else:
+                payload = disk.peek_page(name, page_no)
+        except TransientIOError:
+            if attempts > MAX_READ_RETRIES:
+                raise
+            stats.io_retries += 1
+            stats.retry_backoff_us += _backoff_us(attempts)
+            continue
+        if disk.verify_page(name, page_no, payload):
+            return payload, attempts
+        stats.checksum_failures += 1
+        if attempts > MAX_READ_RETRIES:
+            disk.quarantine(name, page_no)
+            stats.pages_quarantined += 1
+            raise ChecksumError(name, page_no, stripe_of(page_no))
+        stats.io_retries += 1
+        stats.retry_backoff_us += _backoff_us(attempts)
 
 
 class BufferPool:
@@ -72,10 +135,24 @@ class BufferPool:
             self.stats.buffer_hits += 1
             self.hits += 1
             return cached
-        payload = self.disk.read_page(name, page_no)
+        payload, _ = fill_page(self.disk, name, page_no, self.stats)
         self._insert(key, payload)
         self.misses += 1
         return payload
+
+    def replay_read(self, name: str, page_no: int, attempts: int = 1) -> bytes:
+        """Re-account a read a morsel worker already performed charge-free.
+
+        The first ``attempts - 1`` physical reads failed (transiently or
+        on CRC) and are billed as plain failed reads; the final one goes
+        through :meth:`read_page` so the pool's hit/miss behaviour is
+        identical to a serial run.  The worker's retry bookkeeping
+        (``io_retries``/``retry_backoff_us``) was recorded on its private
+        ledger and merged separately.
+        """
+        for _ in range(max(attempts, 1) - 1):
+            self.disk.charge_failed_read(name, page_no)
+        return self.read_page(name, page_no)
 
     def scan_pages(
         self, name: str, start: int = 0, stop: Optional[int] = None
@@ -96,6 +173,12 @@ class BufferPool:
         before = self.stats.snapshot()
         for page_no in range(self.disk.file(name).num_pages):
             payload = self.disk.file(name).pages[page_no]
+            # Never cache a page that would not verify: a later miss-fill
+            # must get the chance to detect (and report) the corruption.
+            if self.disk.is_quarantined(name, page_no):
+                continue
+            if not self.disk.verify_page(name, page_no, payload):
+                continue
             self._insert((name, page_no), payload)
         # warming is not part of any measured query; restore counters
         for counter, value in before.items():
@@ -119,4 +202,5 @@ class BufferPool:
             self._pages.popitem(last=False)
 
 
-__all__ = ["BufferPool", "DEFAULT_CAPACITY_BYTES"]
+__all__ = ["BufferPool", "DEFAULT_CAPACITY_BYTES", "MAX_READ_RETRIES",
+           "fill_page"]

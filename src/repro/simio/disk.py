@@ -15,13 +15,29 @@ costs one seek.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..errors import StorageError
+from ..errors import StorageError, TransientIOError
 from .stats import NUM_STRIPE_DISKS, QueryStats
 
 #: Page size used throughout (the paper's System X uses 32 KB pages).
 PAGE_SIZE = 32 * 1024
+
+
+def page_checksum(payload: bytes) -> int:
+    """Checksum of one page image (CRC32, stored out of band).
+
+    Kept in a per-file map beside the pages rather than inside them, so
+    on-disk page formats — and every size/cost number derived from them —
+    are unchanged by the integrity layer.
+    """
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def stripe_of(page_no: int) -> int:
+    """Which member drive of the 4-disk stripe holds this page."""
+    return page_no % NUM_STRIPE_DISKS
 
 
 class DiskFile:
@@ -30,6 +46,8 @@ class DiskFile:
     def __init__(self, name: str) -> None:
         self.name = name
         self.pages: List[bytes] = []
+        #: per-page CRC32 recorded at write time, parallel to ``pages``
+        self.checksums: List[int] = []
 
     @property
     def num_pages(self) -> int:
@@ -52,6 +70,11 @@ class SimulatedDisk:
     def __init__(self, stats: Optional[QueryStats] = None) -> None:
         self.stats = stats if stats is not None else QueryStats()
         self._files: Dict[str, DiskFile] = {}
+        #: optional :class:`~repro.simio.faults.FaultInjector` (duck-typed
+        #: to avoid an import cycle); ``None`` means a perfect disk
+        self.fault_injector = None
+        #: pages fenced off after persistent checksum failure
+        self._quarantined: Set[Tuple[str, int]] = set()
         # (file name, page number) of the most recent physical access, used
         # to decide whether the next access is sequential.
         self._head: Optional[Tuple[str, int]] = None
@@ -76,6 +99,8 @@ class SimulatedDisk:
     def drop(self, name: str) -> None:
         """Remove a file (used when rebuilding physical designs)."""
         self._files.pop(name, None)
+        self._quarantined = {key for key in self._quarantined
+                             if key[0] != name}
 
     def file(self, name: str) -> DiskFile:
         """Look up a file; raise :class:`StorageError` if absent."""
@@ -111,8 +136,33 @@ class SimulatedDisk:
             )
         f = self.file(name)
         f.pages.append(payload)
+        f.checksums.append(page_checksum(payload))
         self.stats.bytes_written += PAGE_SIZE
         return f.num_pages - 1
+
+    def rewrite_page(self, name: str, page_no: int, payload: bytes,
+                     charge: bool = False) -> None:
+        """Replace a page in place, refreshing its stored checksum.
+
+        The two legitimate in-place writers — the B-tree leaf patcher and
+        the scrubber's repair path — go through here so the checksum map
+        stays consistent.  ``charge=True`` bills the write to the ledger
+        (repairs are real I/O; structural patches during load are not
+        part of any measured query).
+        """
+        if len(payload) > PAGE_SIZE:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds page size {PAGE_SIZE}"
+            )
+        f = self.file(name)
+        if not 0 <= page_no < f.num_pages:
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({f.num_pages} pages)"
+            )
+        f.pages[page_no] = payload
+        f.checksums[page_no] = page_checksum(payload)
+        if charge:
+            self.stats.bytes_written += PAGE_SIZE
 
     def read_page(self, name: str, page_no: int) -> bytes:
         """Read one page, charging transfer bytes and a seek if random."""
@@ -122,7 +172,38 @@ class SimulatedDisk:
                 f"page {page_no} out of range for {name!r} ({f.num_pages} pages)"
             )
         self._charge(name, page_no)
+        inj = self.fault_injector
+        if inj is not None and inj.take_transient(name, page_no):
+            raise TransientIOError(name, page_no)
         return f.pages[page_no]
+
+    def peek_page(self, name: str, page_no: int) -> bytes:
+        """Read one page without touching the ledger, but still subject
+        to fault injection.
+
+        The morsel workers of the parallel read path use this: their
+        reads are charge-free (the coordinator replays the trace through
+        the buffer pool for the canonical ledger) yet must see the same
+        faults a charged read would.
+        """
+        f = self.file(name)
+        if not 0 <= page_no < f.num_pages:
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({f.num_pages} pages)"
+            )
+        inj = self.fault_injector
+        if inj is not None and inj.take_transient(name, page_no):
+            raise TransientIOError(name, page_no)
+        return f.pages[page_no]
+
+    def charge_failed_read(self, name: str, page_no: int) -> None:
+        """Bill one failed read attempt (transfer + possible seek).
+
+        A read that errors still moved the arm and the bytes; the
+        trace-replay path uses this to account retries a worker already
+        performed.
+        """
+        self._charge(name, page_no)
 
     def scan_pages(
         self, name: str, start: int = 0, stop: Optional[int] = None
@@ -151,5 +232,42 @@ class SimulatedDisk:
         self._head = None
         self._stripe_heads = [None] * NUM_STRIPE_DISKS
 
+    # ------------------------------------------------------------------ #
+    # integrity
+    # ------------------------------------------------------------------ #
+    def expected_checksum(self, name: str, page_no: int) -> int:
+        """The CRC recorded when the page was written."""
+        f = self.file(name)
+        if not 0 <= page_no < f.num_pages:
+            raise StorageError(
+                f"page {page_no} out of range for {name!r} ({f.num_pages} pages)"
+            )
+        return f.checksums[page_no]
 
-__all__ = ["SimulatedDisk", "DiskFile", "PAGE_SIZE"]
+    def verify_page(self, name: str, page_no: int,
+                    payload: Optional[bytes] = None) -> bool:
+        """Does the (given or stored) page image match its write-time CRC?"""
+        if payload is None:
+            payload = self.file(name).pages[page_no]
+        return page_checksum(payload) == self.expected_checksum(name, page_no)
+
+    def quarantine(self, name: str, page_no: int) -> None:
+        """Fence off a persistently corrupt page: all further reads fail
+        fast with :class:`~repro.errors.ChecksumError` instead of
+        re-reading garbage."""
+        self._quarantined.add((name, page_no))
+
+    def unquarantine(self, name: str, page_no: int) -> None:
+        """Lift the fence (after the scrubber repaired the page)."""
+        self._quarantined.discard((name, page_no))
+
+    def is_quarantined(self, name: str, page_no: int) -> bool:
+        return (name, page_no) in self._quarantined
+
+    def quarantined_pages(self) -> List[Tuple[str, int]]:
+        """All fenced pages, sorted for reproducibility."""
+        return sorted(self._quarantined)
+
+
+__all__ = ["SimulatedDisk", "DiskFile", "PAGE_SIZE", "page_checksum",
+           "stripe_of"]

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for the simulated disk.
+
+A :class:`FaultInjector` models three hardware failure modes:
+
+* **transient read errors** — a read attempt raises
+  :class:`~repro.errors.TransientIOError`; the same page succeeds after a
+  bounded number of retries (the buffer pool's retry/backoff loop pays
+  for the re-reads on the ledger);
+* **single-bit corruption** — one bit of a stored page image is flipped
+  in place.  The per-page CRC kept by :class:`SimulatedDisk` detects it
+  (CRC32 catches every single-bit error), the page is quarantined, and
+  the engines recover from a redundant projection or fail typed;
+* **torn pages** — the tail half of a stored page is replaced with
+  zeroes, modelling a write that only half completed.
+
+Every decision is a pure function of ``(seed, kind, file, page)`` via a
+keyed hash, so a fault schedule is exactly reproducible from its seed —
+regardless of the order pages are touched, the number of worker threads,
+or which queries run first.  Persistent corruption is applied to the
+stored page images at :meth:`FaultInjector.install` time; the checksum
+map is deliberately left alone (a real CRC would have been written when
+the page was, before the fault happened).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+
+#: What :meth:`FaultInjector.install` returns: (file, page, fault kind).
+CorruptionLog = List[Tuple[str, int, str]]
+
+
+def _unit(seed: int, kind: str, name: str, page_no: int) -> float:
+    """A deterministic uniform [0, 1) draw keyed on all four inputs."""
+    digest = hashlib.blake2b(
+        f"{seed}:{kind}:{name}:{page_no}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """One rule of a fault schedule, scoped by file glob and page range.
+
+    Rates are per-page probabilities.  ``max_transient_failures`` bounds
+    how many consecutive attempts on an afflicted page fail before it
+    reads cleanly (each afflicted page draws its own count in
+    ``[1, max_transient_failures]``).
+    """
+
+    file_glob: str = "*"
+    page_lo: int = 0
+    page_hi: Optional[int] = None  # exclusive; None = unbounded
+    transient_rate: float = 0.0
+    max_transient_failures: int = 2
+    bitflip_rate: float = 0.0
+    torn_rate: float = 0.0
+
+    def applies_to(self, name: str, page_no: int) -> bool:
+        if not fnmatch.fnmatchcase(name, self.file_glob):
+            return False
+        if page_no < self.page_lo:
+            return False
+        return self.page_hi is None or page_no < self.page_hi
+
+
+class FaultInjector:
+    """A seeded, policy-driven fault schedule over one simulated disk.
+
+    Install with :meth:`install`; uninstall by setting the disk's
+    ``fault_injector`` back to ``None``.  Thread-safe: the morsel workers
+    of the parallel read path consume transient-failure budgets through
+    the same injector.
+    """
+
+    def __init__(self, seed: int = 0,
+                 policies: Sequence[FaultPolicy] = ()) -> None:
+        self.seed = seed
+        self.policies: Tuple[FaultPolicy, ...] = tuple(policies)
+        self.corrupted: CorruptionLog = []
+        self._lock = threading.Lock()
+        self._transient_taken: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # transient errors (consumed by the read path)
+    # ------------------------------------------------------------------ #
+    def transient_budget(self, name: str, page_no: int) -> int:
+        """How many reads of this page fail before one succeeds."""
+        budget = 0
+        for policy in self.policies:
+            if not policy.transient_rate or not policy.applies_to(name,
+                                                                  page_no):
+                continue
+            draw = _unit(self.seed, f"transient/{policy.file_glob}",
+                         name, page_no)
+            if draw >= policy.transient_rate:
+                continue
+            count = 1 + int(
+                _unit(self.seed, "transient-count", name, page_no)
+                * policy.max_transient_failures
+            )
+            budget = max(budget, min(count, policy.max_transient_failures))
+        return budget
+
+    def take_transient(self, name: str, page_no: int) -> bool:
+        """Consume one transient failure for this page if any remain."""
+        budget = self.transient_budget(name, page_no)
+        if budget == 0:
+            return False
+        key = (name, page_no)
+        with self._lock:
+            used = self._transient_taken.get(key, 0)
+            if used >= budget:
+                return False
+            self._transient_taken[key] = used + 1
+            return True
+
+    def reset_transients(self) -> None:
+        """Re-arm every transient failure (e.g. between experiments)."""
+        with self._lock:
+            self._transient_taken.clear()
+
+    # ------------------------------------------------------------------ #
+    # persistent corruption (applied once to the stored images)
+    # ------------------------------------------------------------------ #
+    def _persistent_kind(self, name: str, page_no: int) -> Optional[str]:
+        for policy in self.policies:
+            if not policy.applies_to(name, page_no):
+                continue
+            if policy.bitflip_rate and _unit(
+                    self.seed, f"bitflip/{policy.file_glob}", name,
+                    page_no) < policy.bitflip_rate:
+                return "bitflip"
+            if policy.torn_rate and _unit(
+                    self.seed, f"torn/{policy.file_glob}", name,
+                    page_no) < policy.torn_rate:
+                return "torn"
+        return None
+
+    def _mutate(self, payload: bytes, kind: str, name: str,
+                page_no: int) -> bytes:
+        if kind == "bitflip":
+            bit = int(_unit(self.seed, "bit-position", name, page_no)
+                      * len(payload) * 8)
+            mutated = bytearray(payload)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            return bytes(mutated)
+        half = len(payload) // 2
+        return payload[:half] + b"\x00" * (len(payload) - half)
+
+    def corrupt_disk(self, disk) -> CorruptionLog:
+        """Apply the persistent-corruption schedule to ``disk``'s stored
+        page images (checksum map untouched) and return what was hit."""
+        log: CorruptionLog = []
+        for name in disk.files():
+            f = disk.file(name)
+            for page_no, payload in enumerate(f.pages):
+                if not payload:
+                    continue
+                kind = self._persistent_kind(name, page_no)
+                if kind is None:
+                    continue
+                f.pages[page_no] = self._mutate(payload, kind, name, page_no)
+                log.append((name, page_no, kind))
+        self.corrupted.extend(log)
+        return log
+
+    def install(self, disk) -> CorruptionLog:
+        """Corrupt ``disk`` per the schedule and hook transient faults
+        into its read path.  Returns the corruption log."""
+        log = self.corrupt_disk(disk)
+        disk.fault_injector = self
+        return log
+
+
+#: Named fault schedules for the bench/scrub ``--fault-profile`` flag.
+PROFILES: Dict[str, Tuple[FaultPolicy, ...]] = {
+    "transient": (FaultPolicy(transient_rate=0.10,
+                              max_transient_failures=2),),
+    "bitflip": (FaultPolicy(bitflip_rate=0.02),),
+    "torn": (FaultPolicy(torn_rate=0.02),),
+    "mixed": (FaultPolicy(transient_rate=0.05, bitflip_rate=0.01,
+                          torn_rate=0.01),),
+}
+
+
+def injector_from_profile(profile: str, seed: int = 0) -> FaultInjector:
+    """Build an injector from a named profile (see :data:`PROFILES`)."""
+    try:
+        policies = PROFILES[profile]
+    except KeyError:
+        raise StorageError(
+            f"unknown fault profile {profile!r}; choices are "
+            f"{sorted(PROFILES)}"
+        ) from None
+    return FaultInjector(seed=seed, policies=policies)
+
+
+__all__ = ["FaultPolicy", "FaultInjector", "PROFILES",
+           "injector_from_profile"]

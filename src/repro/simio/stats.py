@@ -49,6 +49,15 @@ class QueryStats:
     stripe2_seeks: int = 0       #: head repositionings on stripe disk 2
     stripe3_seeks: int = 0       #: head repositionings on stripe disk 3
 
+    # --- fault tolerance (maintained by the buffer-pool read path and
+    # the engines' recovery layer; all zero on a fault-free run, so
+    # fault-free ledgers are unchanged by the existence of this layer) ---
+    io_retries: int = 0          #: page read attempts repeated after a fault
+    retry_backoff_us: int = 0    #: capped-exponential backoff charged (µs)
+    checksum_failures: int = 0   #: page images that failed CRC verification
+    pages_quarantined: int = 0   #: pages fenced off as persistently corrupt
+    recoveries: int = 0          #: reads re-served from a redundant projection
+
     # --- iteration model ---
     iterator_calls: int = 0      #: per-tuple next() calls (Volcano overhead)
     block_calls: int = 0         #: per-block operator invocations
@@ -205,9 +214,11 @@ class CostModel:
     dict_lookup_seconds: float = 10e-9
 
     def io_seconds(self, stats: QueryStats) -> float:
-        """Simulated I/O time: transfer at sequential bandwidth plus seeks."""
+        """Simulated I/O time: transfer at sequential bandwidth plus seeks
+        (plus any retry backoff the fault-recovery path waited out)."""
         transfer = stats.bytes_read / (self.seq_mbps * 1024 * 1024)
-        return transfer + stats.seeks * self.seek_seconds
+        return (transfer + stats.seeks * self.seek_seconds
+                + stats.retry_backoff_us * 1e-6)
 
     def striped_io_seconds(self, stats: QueryStats) -> Optional[float]:
         """Elapsed I/O against the 4-disk stripe: the per-disk critical
@@ -228,7 +239,7 @@ class CostModel:
         return max(
             b / (per_disk_mbps * 1024 * 1024) + s * self.seek_seconds
             for b, s in zip(per_disk_bytes, per_disk_seeks)
-        )
+        ) + stats.retry_backoff_us * 1e-6
 
     def cpu_seconds(self, stats: QueryStats) -> float:
         """Simulated CPU time from the instruction-level counters."""

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -31,6 +33,35 @@ from ..types import ColumnType, TypeKind
 from .generator import DEFAULT_SEED, SsbData, generate
 
 _FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheHealth:
+    """Observable record of cache outcomes.
+
+    A cached artifact that exists but cannot be decoded is **corruption**,
+    not a miss — regeneration hides the broken file, so the event is
+    counted here and warned about instead of being swallowed silently.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corruption_events: int = 0
+    last_corruption: Optional[str] = None
+
+    def record_corruption(self, path: Path, error: Exception) -> None:
+        self.corruption_events += 1
+        self.last_corruption = f"{path}: {type(error).__name__}: {error}"
+        warnings.warn(
+            f"cached SSB artifact is corrupt and will be regenerated "
+            f"({self.last_corruption})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+#: Module-wide health record (the cache itself is module-level functions).
+CACHE_HEALTH = CacheHealth()
 
 
 def cache_key(scale_factor: float, seed: int) -> str:
@@ -79,10 +110,12 @@ def load(scale_factor: float, seed: int, directory: Path
     npz_path = Path(str(stem) + ".npz")
     json_path = stem.parent / (stem.name + ".json")
     if not npz_path.exists() or not json_path.exists():
+        CACHE_HEALTH.misses += 1
         return None
     try:
         meta = json.loads(json_path.read_text())
         if meta.get("version") != _FORMAT_VERSION:
+            CACHE_HEALTH.misses += 1  # stale format, a legitimate miss
             return None
         archive = np.load(npz_path)
         tables: Dict[str, Table] = {}
@@ -100,7 +133,7 @@ def load(scale_factor: float, seed: int, directory: Path
             tables[table_name] = Table(
                 table_name, columns,
                 SortOrder(tuple(table_meta["sort_keys"])))
-        return SsbData(
+        loaded = SsbData(
             scale_factor=meta["scale_factor"],
             seed=meta["seed"],
             lineorder=tables["lineorder"],
@@ -109,8 +142,14 @@ def load(scale_factor: float, seed: int, directory: Path
             part=tables["part"],
             date=tables["date"],
         )
-    except (KeyError, ValueError, OSError, json.JSONDecodeError):
-        return None  # treat any corruption as a cache miss
+    except Exception as error:  # any decode failure: zip, json, dtype, ...
+        # The artifact exists but cannot be decoded: that is corruption,
+        # not a miss.  Surface it (counter + warning) and fall back to
+        # regeneration so callers keep working.
+        CACHE_HEALTH.record_corruption(npz_path, error)
+        return None
+    CACHE_HEALTH.hits += 1
+    return loaded
 
 
 def load_or_generate(
@@ -137,4 +176,5 @@ def load_or_generate(
     return data
 
 
-__all__ = ["save", "load", "load_or_generate", "cache_key"]
+__all__ = ["save", "load", "load_or_generate", "cache_key",
+           "CacheHealth", "CACHE_HEALTH"]

@@ -87,6 +87,17 @@ class Projection:
     def has_column(self, name: str) -> bool:
         return name in self._column_files
 
+    def column_for_file(self, file_name: str) -> Optional[str]:
+        """Which column a disk file belongs to, or None if not ours.
+
+        The recovery layer maps a corrupt file back to its owning
+        projection/column to decide whether a redundant copy exists.
+        """
+        for name, colfile in self._column_files.items():
+            if colfile.name == file_name:
+                return name
+        return None
+
     def size_bytes(self) -> int:
         """Occupied whole-page bytes across all column files."""
         return sum(f.size_bytes for f in self._column_files.values())

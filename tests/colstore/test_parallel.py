@@ -151,7 +151,7 @@ def test_trace_pool_records_without_charging(cstore):
     tp = TracePool(cstore.pool)
     payloads = list(tp.scan_pages(colfile.name, 0, num))
     assert len(payloads) == num
-    assert tp.trace == [(colfile.name, i) for i in range(num)]
+    assert tp.trace == [(colfile.name, i, 1) for i in range(num)]
     assert cstore.pool.stats.snapshot() == before  # nothing charged
 
 

@@ -1,0 +1,204 @@
+"""Unit tests for the integrity layer: checksums, fault injection,
+retry/backoff, quarantine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChecksumError, StorageError, TransientIOError
+from repro.simio.buffer_pool import (
+    BufferPool,
+    MAX_READ_RETRIES,
+    fill_page,
+)
+from repro.simio.disk import SimulatedDisk, page_checksum, stripe_of
+from repro.simio.faults import (
+    FaultInjector,
+    FaultPolicy,
+    PROFILES,
+    injector_from_profile,
+)
+from repro.simio.stats import QueryStats
+
+
+# --------------------------------------------------------------------- #
+# checksums
+# --------------------------------------------------------------------- #
+def test_append_records_checksum(disk):
+    disk.create("f")
+    disk.append_page("f", b"payload")
+    assert disk.file("f").checksums == [page_checksum(b"payload")]
+    assert disk.verify_page("f", 0)
+
+
+def test_mutation_fails_verification(disk):
+    disk.create("f")
+    disk.append_page("f", b"payload")
+    disk.file("f").pages[0] = b"paYload"
+    assert not disk.verify_page("f", 0)
+
+
+def test_rewrite_page_refreshes_checksum(disk):
+    disk.create("f")
+    disk.append_page("f", b"old")
+    disk.rewrite_page("f", 0, b"new")
+    assert disk.verify_page("f", 0)
+    assert disk.expected_checksum("f", 0) == page_checksum(b"new")
+
+
+def test_pool_miss_verifies_and_quarantines(disk, pool):
+    disk.create("f")
+    disk.append_page("f", b"payload")
+    disk.file("f").pages[0] = b"xayload"
+    with pytest.raises(ChecksumError) as info:
+        pool.read_page("f", 0)
+    assert info.value.file == "f"
+    assert info.value.disk_no == stripe_of(0)
+    assert disk.is_quarantined("f", 0)
+    assert disk.stats.pages_quarantined == 1
+    assert disk.stats.checksum_failures == MAX_READ_RETRIES + 1
+    # quarantined pages fail fast, without physical re-reads
+    reads_before = disk.stats.pages_read
+    with pytest.raises(ChecksumError, match="quarantined"):
+        pool.read_page("f", 0)
+    assert disk.stats.pages_read == reads_before
+
+
+def test_warm_skips_corrupt_pages(disk, pool):
+    disk.create("f")
+    disk.append_page("f", b"good")
+    disk.append_page("f", b"bad?")
+    disk.file("f").pages[1] = b"bad!"
+    pool.warm("f")
+    assert len(pool) == 1  # only the verifying page was cached
+    # the corrupt page still surfaces an error on a real read
+    with pytest.raises(ChecksumError):
+        pool.read_page("f", 1)
+
+
+# --------------------------------------------------------------------- #
+# deterministic injection
+# --------------------------------------------------------------------- #
+def test_schedule_reproducible_from_seed():
+    a = FaultInjector(7, [FaultPolicy(transient_rate=0.3, bitflip_rate=0.2)])
+    b = FaultInjector(7, [FaultPolicy(transient_rate=0.3, bitflip_rate=0.2)])
+    c = FaultInjector(8, [FaultPolicy(transient_rate=0.3, bitflip_rate=0.2)])
+    pages = [("f", i) for i in range(64)] + [("g", i) for i in range(64)]
+    assert [a.transient_budget(*p) for p in pages] == \
+        [b.transient_budget(*p) for p in pages]
+    assert [a._persistent_kind(*p) for p in pages] == \
+        [b._persistent_kind(*p) for p in pages]
+    assert [a.transient_budget(*p) for p in pages] != \
+        [c.transient_budget(*p) for p in pages]
+
+
+def test_policy_scoping():
+    policy = FaultPolicy(file_glob="lineorder.*", page_lo=2, page_hi=5,
+                        transient_rate=1.0)
+    assert policy.applies_to("lineorder.max.x", 2)
+    assert policy.applies_to("lineorder.max.x", 4)
+    assert not policy.applies_to("lineorder.max.x", 5)
+    assert not policy.applies_to("lineorder.max.x", 1)
+    assert not policy.applies_to("customer.max.x", 3)
+
+
+def test_transient_budget_is_consumed_once():
+    inj = FaultInjector(1, [FaultPolicy(transient_rate=1.0,
+                                        max_transient_failures=2)])
+    budget = inj.transient_budget("f", 0)
+    assert 1 <= budget <= 2
+    taken = 0
+    while inj.take_transient("f", 0):
+        taken += 1
+    assert taken == budget
+    assert not inj.take_transient("f", 0)
+    inj.reset_transients()
+    assert inj.take_transient("f", 0)
+
+
+def test_transient_faults_are_retried_and_charged(disk, pool):
+    disk.create("f")
+    disk.append_page("f", b"payload")
+    inj = FaultInjector(3, [FaultPolicy(transient_rate=1.0,
+                                        max_transient_failures=2)])
+    inj.install(disk)
+    assert pool.read_page("f", 0) == b"payload"
+    budget = inj.transient_budget("f", 0)
+    assert disk.stats.io_retries == budget
+    assert disk.stats.retry_backoff_us > 0
+    # every attempt (failed + final) was billed as a physical read
+    assert disk.stats.pages_read == budget + 1
+
+
+def test_transient_exhaustion_raises_typed_error(disk):
+    disk.create("f")
+    disk.append_page("f", b"payload")
+
+    class AlwaysFail:
+        def take_transient(self, name, page_no):
+            return True
+
+    disk.fault_injector = AlwaysFail()
+    with pytest.raises(TransientIOError):
+        fill_page(disk, "f", 0, disk.stats)
+    assert disk.stats.io_retries == MAX_READ_RETRIES
+
+
+def test_bitflip_detected_by_crc(disk):
+    disk.create("f")
+    disk.append_page("f", b"\x00" * 1024)
+    inj = FaultInjector(5, [FaultPolicy(bitflip_rate=1.0)])
+    log = inj.install(disk)
+    assert log == [("f", 0, "bitflip")]
+    assert not disk.verify_page("f", 0)
+    # exactly one bit differs
+    stored = disk.file("f").pages[0]
+    assert sum(bin(b).count("1") for b in stored) == 1
+
+
+def test_torn_page_detected_by_crc(disk):
+    disk.create("f")
+    disk.append_page("f", bytes(range(256)) * 4)
+    inj = FaultInjector(5, [FaultPolicy(torn_rate=1.0)])
+    log = inj.install(disk)
+    assert log == [("f", 0, "torn")]
+    stored = disk.file("f").pages[0]
+    assert len(stored) == 1024
+    assert stored[512:] == b"\x00" * 512
+    assert not disk.verify_page("f", 0)
+
+
+def test_zero_rate_injector_changes_nothing(disk, pool):
+    disk.create("f")
+    for i in range(8):
+        disk.append_page("f", bytes([i]) * 100)
+    baseline = None
+    for install in (False, True):
+        disk.stats = QueryStats()
+        pool.clear()
+        if install:
+            FaultInjector(9, [FaultPolicy()]).install(disk)
+        for i in range(8):
+            pool.read_page("f", i)
+        snap = disk.stats.snapshot()
+        if baseline is None:
+            baseline = snap
+    assert snap == baseline
+
+
+def test_profiles_and_unknown_profile():
+    for name in PROFILES:
+        inj = injector_from_profile(name, seed=2)
+        assert inj.policies == PROFILES[name]
+    with pytest.raises(StorageError, match="unknown fault profile"):
+        injector_from_profile("nope")
+
+
+# --------------------------------------------------------------------- #
+# scan path stays fault-free (spill round-trips are not injected)
+# --------------------------------------------------------------------- #
+def test_scan_pages_not_fault_injected(disk):
+    disk.create("f")
+    disk.append_page("f", b"payload")
+    inj = FaultInjector(1, [FaultPolicy(transient_rate=1.0)])
+    disk.fault_injector = inj  # no persistent corruption
+    assert list(disk.scan_pages("f")) == [b"payload"]

@@ -36,7 +36,8 @@ def test_corrupt_cache_is_a_miss(tmp_path, small):
     save(small, tmp_path)
     sidecar = tmp_path / (cache_key(0.004, 99) + ".json")
     sidecar.write_text("{not json")
-    assert load(0.004, 99, tmp_path) is None
+    with pytest.warns(RuntimeWarning):  # corruption is surfaced, not silent
+        assert load(0.004, 99, tmp_path) is None
 
 
 def test_load_or_generate_populates(tmp_path):
@@ -57,3 +58,57 @@ def test_env_var_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     load_or_generate(0.004, seed=99)
     assert (tmp_path / (cache_key(0.004, 99) + ".npz")).exists()
+
+
+def test_corrupt_sidecar_counts_as_corruption(tmp_path, small):
+    from repro.ssb.cache import CACHE_HEALTH
+
+    save(small, tmp_path)
+    sidecar = tmp_path / (cache_key(0.004, 99) + ".json")
+    sidecar.write_text("{not json")
+    before = CACHE_HEALTH.corruption_events
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert load(0.004, 99, tmp_path) is None
+    assert CACHE_HEALTH.corruption_events == before + 1
+    assert "json" in (CACHE_HEALTH.last_corruption or "").lower() or \
+        CACHE_HEALTH.last_corruption is not None
+
+
+def test_corrupt_npz_counts_as_corruption(tmp_path, small):
+    from repro.ssb.cache import CACHE_HEALTH
+
+    save(small, tmp_path)
+    archive = tmp_path / (cache_key(0.004, 99) + ".npz")
+    payload = bytearray(archive.read_bytes())
+    payload[:64] = b"\x00" * 64  # destroy the zip header
+    archive.write_bytes(bytes(payload))
+    before = CACHE_HEALTH.corruption_events
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert load(0.004, 99, tmp_path) is None
+    assert CACHE_HEALTH.corruption_events == before + 1
+
+
+def test_load_or_generate_survives_corruption(tmp_path, small):
+    import warnings
+
+    from repro.ssb.cache import CACHE_HEALTH
+
+    save(small, tmp_path)
+    sidecar = tmp_path / (cache_key(0.004, 99) + ".json")
+    sidecar.write_text("{not json")
+    before = CACHE_HEALTH.corruption_events
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        data = load_or_generate(0.004, 99, cache_dir=tmp_path)
+    assert data.seed == 99  # regenerated, not broken
+    assert CACHE_HEALTH.corruption_events == before + 1
+
+
+def test_genuine_miss_is_not_corruption(tmp_path):
+    from repro.ssb.cache import CACHE_HEALTH
+
+    before_corrupt = CACHE_HEALTH.corruption_events
+    before_miss = CACHE_HEALTH.misses
+    assert load(0.9, 321, tmp_path) is None
+    assert CACHE_HEALTH.corruption_events == before_corrupt
+    assert CACHE_HEALTH.misses == before_miss + 1

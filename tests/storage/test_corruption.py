@@ -1,16 +1,31 @@
 """Failure injection: corrupt page images must raise typed errors, not
-return wrong data silently."""
+return wrong data silently.
+
+Since the integrity layer, any in-place mutation of a stored page is
+caught by the buffer pool's CRC verification *before* the payload
+reaches a decoder, so pool-path reads surface :class:`ChecksumError`.
+The decoder-level defenses (codec ids, counts, run lengths) remain the
+second line and are exercised directly on payload bytes.
+"""
+
+import struct
 
 import numpy as np
 import pytest
 
-from repro.errors import EncodingError, PageFormatError, StorageError
+from repro.errors import (
+    ChecksumError,
+    EncodingError,
+    PageFormatError,
+    StorageError,
+)
 from repro.simio.buffer_pool import BufferPool
 from repro.simio.disk import SimulatedDisk
 from repro.simio.stats import QueryStats
 from repro.storage.colfile import ColumnFile, CompressionLevel
 from repro.storage.column import Column
 from repro.storage.encodings import decode_payload
+from repro.storage.encodings.codec import pack_dtype
 from repro.storage.heapfile import HeapFile
 from repro.storage.table import Table
 from repro.types import int32
@@ -25,14 +40,19 @@ def _corrupt(disk, name, page_no, payload):
     disk.file(name).pages[page_no] = payload
 
 
+# --------------------------------------------------------------------- #
+# pool path: the checksum layer catches every stored-image mutation
+# --------------------------------------------------------------------- #
 def test_colfile_truncated_page(disk, pool):
     col = Column.from_ints("v", np.arange(10_000, dtype=np.int32), int32())
     f = ColumnFile.load(disk, "c", col, CompressionLevel.NONE)
     original = disk.file("c").pages[0]
     _corrupt(disk, "c", 0, original[:100])
     pool.clear()
-    with pytest.raises((StorageError, EncodingError)):
+    with pytest.raises(ChecksumError) as info:
         f.read_all(pool)
+    assert info.value.file == "c"
+    assert info.value.page_no == 0
 
 
 def test_colfile_unknown_codec_byte(disk, pool):
@@ -42,7 +62,7 @@ def test_colfile_unknown_codec_byte(disk, pool):
     page[8] = 0x7F  # codec id byte
     _corrupt(disk, "c", 0, bytes(page))
     pool.clear()
-    with pytest.raises(EncodingError):
+    with pytest.raises(ChecksumError):
         f.read_all(pool)
 
 
@@ -57,6 +77,48 @@ def test_colfile_count_mismatch(disk, pool):
         f.read_all(pool)
 
 
+def test_corrupt_page_is_quarantined_and_fails_fast(disk, pool):
+    col = Column.from_ints("v", np.arange(100, dtype=np.int32), int32())
+    f = ColumnFile.load(disk, "c", col, CompressionLevel.NONE)
+    _corrupt(disk, "c", 0, b"\x00" * 64)
+    pool.clear()
+    with pytest.raises(ChecksumError):
+        f.read_all(pool)
+    assert disk.is_quarantined("c", 0)
+    assert disk.stats.checksum_failures > 0
+    assert disk.stats.pages_quarantined == 1
+    # second attempt fails fast without re-reading garbage
+    before = disk.stats.pages_read
+    with pytest.raises(ChecksumError, match="quarantined"):
+        f.read_all(pool)
+    assert disk.stats.pages_read == before
+
+
+def test_heapfile_bad_page_multiple(disk, pool):
+    table = Table("t", [Column.from_ints("a", np.arange(100, dtype=np.int32),
+                                         int32())])
+    heap = HeapFile.load(disk, "h", table)
+    _corrupt(disk, "h", 0, b"x" * 13)
+    pool.clear()
+    with pytest.raises(ChecksumError):
+        list(heap.scan_batches(pool))
+
+
+def test_heapfile_bad_page_decoder_layer(disk, pool):
+    """If garbage somehow carries a valid CRC (rewrite_page refreshes
+    it), the slotted-page decoder still rejects the page."""
+    table = Table("t", [Column.from_ints("a", np.arange(100, dtype=np.int32),
+                                         int32())])
+    heap = HeapFile.load(disk, "h", table)
+    disk.rewrite_page("h", 0, b"x" * 13)
+    pool.clear()
+    with pytest.raises(PageFormatError):
+        list(heap.scan_batches(pool))
+
+
+# --------------------------------------------------------------------- #
+# decoder layer: corrupt payload branches exercised directly
+# --------------------------------------------------------------------- #
 def test_rle_corrupt_run_lengths():
     from repro.storage.encodings.rle import RLE
 
@@ -67,11 +129,36 @@ def test_rle_corrupt_run_lengths():
         decode_payload(bytes(framed))
 
 
-def test_heapfile_bad_page_multiple(disk, pool):
-    table = Table("t", [Column.from_ints("a", np.arange(100, dtype=np.int32),
-                                         int32())])
-    heap = HeapFile.load(disk, "h", table)
-    _corrupt(disk, "h", 0, b"x" * 13)
-    pool.clear()
-    with pytest.raises(PageFormatError):
-        list(heap.scan_batches(pool))
+def test_rle_run_lengths_do_not_sum():
+    from repro.storage.encodings.codec import CodecId
+    from repro.storage.encodings.rle import RLE
+
+    values = np.repeat(np.arange(3, dtype=np.int32), 5)
+    framed = bytearray(RLE.frame(values))
+    assert framed[0] == CodecId.RLE.value
+    # declared count lives right after the codec id + dtype descriptor;
+    # bump it so the run lengths no longer sum to it
+    dtype_len = len(pack_dtype(values.dtype))
+    count_at = 1 + dtype_len
+    (count,) = struct.unpack_from("<I", framed, count_at)
+    assert count == len(values)
+    struct.pack_into("<I", framed, count_at, count + 1)
+    with pytest.raises(EncodingError,
+                       match="run lengths do not sum"):
+        decode_payload(bytes(framed))
+
+
+def test_dictionary_no_distinct_values():
+    from repro.storage.encodings.codec import CodecId
+
+    # hand-craft: count=3 rows but an empty distinct table
+    dtype = np.dtype(np.int32)
+    payload = (
+        bytes([CodecId.DICTIONARY.value])
+        + pack_dtype(dtype)
+        + struct.pack("<IIB", 3, 0, 1)   # count=3, ndistinct=0, bits=1
+        + b"\x00"                        # packed indices for 3 rows
+    )
+    with pytest.raises(EncodingError,
+                       match="no distinct values"):
+        decode_payload(payload)

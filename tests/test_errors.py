@@ -1,0 +1,56 @@
+"""The exception hierarchy contract: every public error is a ReproError,
+so ``except ReproError`` at an API boundary is sound."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ChecksumError,
+    CorruptPageError,
+    ReproError,
+    ScrubError,
+    StorageError,
+    TransientIOError,
+)
+
+
+def _public_error_classes():
+    return [
+        obj for _name, obj in vars(errors).items()
+        if inspect.isclass(obj) and issubclass(obj, Exception)
+    ]
+
+
+def test_every_public_error_is_a_repro_error():
+    classes = _public_error_classes()
+    assert len(classes) >= 15  # the hierarchy, not an empty module
+    for cls in classes:
+        assert issubclass(cls, ReproError), cls.__name__
+
+
+def test_storage_error_family():
+    for cls in (ChecksumError, TransientIOError, CorruptPageError,
+                ScrubError):
+        assert issubclass(cls, StorageError)
+        assert issubclass(cls, ReproError)
+
+
+@pytest.mark.parametrize("cls", [ChecksumError, CorruptPageError])
+def test_page_errors_carry_location(cls):
+    error = cls("proj.col", 7, 3, detail="why")
+    assert error.file == "proj.col"
+    assert error.page_no == 7
+    assert error.disk_no == 3
+    assert "proj.col" in str(error)
+    assert "7" in str(error)
+    assert "3" in str(error)
+    assert "why" in str(error)
+
+
+def test_transient_error_carries_location():
+    error = TransientIOError("proj.col", 5)
+    assert error.file == "proj.col"
+    assert error.page_no == 5
+    assert "transient" in str(error)

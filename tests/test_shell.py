@@ -88,3 +88,29 @@ def test_unknown_command(shell):
 def test_quit(shell):
     assert shell.handle("\\quit") == "bye"
     assert shell.done
+
+
+def test_error_line_is_structured(shell):
+    out = shell.handle("SELECT FROM nothing")
+    # one line: class name + message, no traceback
+    assert "\n" not in out
+    assert out.startswith("error: SqlParseError:") or \
+        out.startswith("error: SqlBindError:")
+
+
+def test_query_against_quarantined_page(shell):
+    disk = shell.cstore.disk
+    victims = [name for name in disk.files()
+               if name.startswith("lineorder.") and
+               name.endswith(".quantity")]
+    assert victims
+    try:
+        for name in victims:
+            disk.quarantine(name, 0)
+        out = shell.handle("Q1.1")
+        assert out.startswith("error: CorruptPageError:")
+        assert "\n" not in out
+        assert "quantity" in out
+    finally:
+        for name in victims:
+            disk.unquarantine(name, 0)

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Smoke test for the baseline regression workflow: write a figure-5
+# baseline at a tiny scale factor, then immediately re-check it.  The
+# whole stack is deterministic, so the check must pass (exit 0); any
+# nonzero exit here means either a real regression or broken plumbing.
+#
+# Usage:  sh benchmarks/smoke_baseline.sh  (from the repo root)
+set -e
+
+SF="${REPRO_SMOKE_SF:-0.004}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+PYTHONPATH=src python -m repro.bench figure5 --sf "$SF" \
+    --write-baseline "$OUT/baseline.json" \
+    --trace-json "$OUT/traces.jsonl" > /dev/null
+PYTHONPATH=src python -m repro.bench --check-baseline "$OUT/baseline.json"
+echo "smoke_baseline: OK (sf $SF)"

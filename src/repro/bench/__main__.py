@@ -5,11 +5,15 @@ Usage::
     python -m repro.bench all
     python -m repro.bench figure7 --sf 0.1
     python -m repro.bench storage
+    python -m repro.bench figure7 --trace-json traces.jsonl
+    python -m repro.bench figure7 --write-baseline baseline.json
+    python -m repro.bench --check-baseline baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict
@@ -46,10 +50,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
+        nargs="?",
+        default=None,
         choices=sorted(_FIGURES) + ["storage", "all", "report",
                                     "breakdown"],
         help="which experiment to run ('report' writes markdown; "
-             "'breakdown' prices one query's ledger)",
+             "'breakdown' prices one query's ledger); optional with "
+             "--check-baseline, which reads the figure from the artifact",
     )
     parser.add_argument("--query", default="Q2.1",
                         help="query for 'breakdown' (default Q2.1)")
@@ -74,9 +81,28 @@ def main(argv=None) -> int:
                              "retry, recover, or fail with typed errors")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for --fault-profile (default 0)")
+    parser.add_argument("--trace-json", default=None, metavar="PATH",
+                        help="write one JSON-lines trace record (per-phase "
+                             "span tree, simulated seconds) per measured "
+                             "query; schema in docs/observability.md")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="after a single-figure run, freeze the grid "
+                             "as a repro-baseline-v1 artifact")
+    parser.add_argument("--check-baseline", default=None, metavar="PATH",
+                        help="re-run the artifact's figure at its scale "
+                             "factor/workers and exit 1 if any query "
+                             "regresses by more than 2%% simulated seconds")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    if args.check_baseline:
+        return _run_check_baseline(parser, args)
+    if args.target is None:
+        parser.error("a target is required unless --check-baseline is given")
+    if args.write_baseline and args.target not in _FIGURES:
+        parser.error("--write-baseline needs a single figure target, "
+                     f"got {args.target!r}")
 
     harness = Harness(scale_factor=args.sf,
                       verify_against_reference=args.verify,
@@ -121,22 +147,73 @@ def main(argv=None) -> int:
 
     targets = sorted(_FIGURES) + ["storage"] if args.target == "all" \
         else [args.target]
-    for target in targets:
-        started = time.time()
-        if target == "storage":
-            print()
-            print(render_storage(figures.storage_report(harness)))
-        else:
-            driver, paper = _FIGURES[target]
-            grid = driver(harness)
-            print()
-            print(render_grid(grid))
-            print()
-            print(render_bars(grid))
-            print()
-            print(render_comparison(grid, paper))
-        print(f"\n[{target} regenerated in {time.time() - started:.1f}s "
-              f"wall clock]")
+    trace_file = open(args.trace_json, "w") if args.trace_json else None
+    try:
+        if trace_file is not None:
+            harness.trace_sink = lambda record: trace_file.write(
+                json.dumps(record) + "\n")
+        for target in targets:
+            started = time.time()
+            if target == "storage":
+                print()
+                print(render_storage(figures.storage_report(harness)))
+            else:
+                driver, paper = _FIGURES[target]
+                harness.trace_figure = target
+                grid = driver(harness)
+                print()
+                print(render_grid(grid))
+                print()
+                print(render_bars(grid))
+                print()
+                print(render_comparison(grid, paper))
+                if args.write_baseline and target == args.target:
+                    from .baseline import write_baseline
+
+                    write_baseline(args.write_baseline, grid,
+                                   figure=target,
+                                   scale_factor=harness.scale_factor,
+                                   workers=harness.workers)
+                    print(f"\nwrote baseline {args.write_baseline}")
+            print(f"\n[{target} regenerated in "
+                  f"{time.time() - started:.1f}s wall clock]")
+    finally:
+        if trace_file is not None:
+            trace_file.close()
+            print(f"wrote traces to {args.trace_json}")
+    return 0
+
+
+def _run_check_baseline(parser: argparse.ArgumentParser, args) -> int:
+    from .baseline import check_against_baseline, load_baseline
+
+    baseline = load_baseline(args.check_baseline)
+    figure = baseline["figure"]
+    if figure not in _FIGURES:
+        parser.error(f"baseline names unknown figure {figure!r}")
+    if args.target is not None and args.target != figure:
+        parser.error(f"target {args.target!r} conflicts with the "
+                     f"baseline's figure {figure!r}")
+    if args.sf is not None and args.sf != baseline["scale_factor"]:
+        parser.error(f"--sf {args.sf} conflicts with the baseline's "
+                     f"scale factor {baseline['scale_factor']}")
+    harness = Harness(scale_factor=baseline["scale_factor"],
+                      verify_against_reference=args.verify,
+                      workers=baseline["workers"],
+                      fault_profile=args.fault_profile,
+                      fault_seed=args.fault_seed)
+    print(f"checking {figure} against {args.check_baseline} "
+          f"(sf {harness.scale_factor}, {harness.workers} worker(s))")
+    grid = _FIGURES[figure][0](harness)
+    regressions = check_against_baseline(grid, baseline)
+    if regressions:
+        print(f"\nBASELINE CHECK FAILED — {len(regressions)} "
+              f"regressed cell(s):")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    cells = sum(len(v) for v in grid.series.values())
+    print(f"baseline check passed: {cells} cell(s) within tolerance")
     return 0
 
 

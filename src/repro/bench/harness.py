@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import ExecutionConfig
 from ..colstore.engine import CStore
@@ -59,13 +59,44 @@ class RunGrid:
     def add(self, label: str, query: str, seconds: float) -> None:
         self.series.setdefault(label, {})[query] = seconds
 
+    def validate_aligned(self) -> None:
+        """Every series must cover the same query set — averaging ragged
+        series silently skews a figure, so mismatches are a typed error."""
+        labels = list(self.series)
+        if not labels:
+            return
+        reference = set(self.series[labels[0]])
+        for label in labels[1:]:
+            got = set(self.series[label])
+            if got == reference:
+                continue
+            missing = sorted(reference - got)
+            extra = sorted(got - reference)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"extra {extra}")
+            raise BenchmarkError(
+                f"grid {self.title!r}: series {label!r} does not cover "
+                f"the same queries as {labels[0]!r} ({'; '.join(detail)})")
+
     def averages(self) -> Dict[str, float]:
+        self.validate_aligned()
+        for label, values in self.series.items():
+            if not values:
+                raise BenchmarkError(
+                    f"grid {self.title!r}: series {label!r} has no "
+                    f"measurements to average")
         return {
             label: sum(values.values()) / len(values)
             for label, values in self.series.items()
         }
 
     def query_names(self) -> List[str]:
+        if not self.series:
+            raise BenchmarkError(
+                f"grid {self.title!r} has no series; nothing was measured")
         first = next(iter(self.series.values()))
         return list(first)
 
@@ -91,6 +122,12 @@ class Harness:
         #: tables loaded later (e.g. denormalized ones) are not corrupted
         self.fault_profile = fault_profile
         self.fault_seed = fault_seed
+        #: when set, every measured run emits one trace record (a span
+        #: tree rendered to a plain dict, see :mod:`repro.obs`) to this
+        #: callable — the CLI points it at a JSON-lines file
+        self.trace_sink: Optional[Callable[[Dict], None]] = None
+        #: stamped into trace records; drivers set it per figure
+        self.trace_figure: str = ""
         self._data: Optional[SsbData] = None
         self._system_x: Optional[SystemX] = None
         self._built_designs: set = set()
@@ -161,11 +198,23 @@ class Harness:
                 f"engine result for {query.name} deviates from the oracle"
             )
 
+    def _emit_trace(self, run, engine: str, series: str,
+                    query: str) -> None:
+        if self.trace_sink is None or run.trace is None:
+            return
+        from ..obs import trace_record
+
+        self.trace_sink(trace_record(
+            run.trace, figure=self.trace_figure, series=series,
+            query=query, engine=engine, scale_factor=self.scale_factor,
+            workers=self.workers))
+
     def run_row_design(self, query: StarQuery, design: DesignKind,
                        prune_partitions: bool = True) -> float:
         engine = self.system_x([design])
         run = engine.execute(query, design, prune_partitions=prune_partitions)
         self._check(query, run.result)
+        self._emit_trace(run, "rowstore", design.value, query.name)
         return run.seconds
 
     def run_column_config(self, query: StarQuery,
@@ -174,11 +223,13 @@ class Harness:
             config = replace(config, workers=self.workers)
         run = self.cstore().execute(query, config)
         self._check(query, run.result)
+        self._emit_trace(run, "colstore", config.label, query.name)
         return run.seconds
 
     def run_row_mv(self, query: StarQuery) -> float:
         run = self.cstore(row_mv=True).execute_row_mv(query)
         self._check(query, run.result)
+        self._emit_trace(run, "colstore", "row-mv", query.name)
         return run.seconds
 
     def run_denormalized(self, query: StarQuery,
@@ -191,6 +242,8 @@ class Harness:
             wide_tables = dict(self.data.tables)
             wide_tables[rewritten.fact_table] = denormalize(self.data)
             self._check(rewritten, run.result, tables=wide_tables)
+        self._emit_trace(run, "colstore", f"denorm:{level.value}",
+                         query.name)
         return run.seconds
 
     def queries(self) -> List[StarQuery]:

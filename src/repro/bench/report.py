@@ -13,24 +13,36 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import BenchmarkError
 from .harness import RunGrid
 from .paper_data import QUERY_ORDER, average
 
 
-def _format_row(label: str, values: Sequence[float], width: int = 8) -> str:
-    cells = " ".join(f"{v:{width}.4f}" for v in values)
+def _format_cell(value: Optional[float], width: int = 8) -> str:
+    if value is None:
+        return f"{'-':>{width}}"
+    return f"{value:{width}.4f}"
+
+
+def _format_row(label: str, values: Sequence[Optional[float]],
+                width: int = 8) -> str:
+    cells = " ".join(_format_cell(v, width) for v in values)
     return f"{label:>12} {cells}"
 
 
 def render_grid(grid: RunGrid, queries: Optional[List[str]] = None) -> str:
-    """The figure as a fixed-width table (simulated seconds)."""
+    """The figure as a fixed-width table (simulated seconds).
+
+    A series missing a query renders ``-`` in that cell, and its AVG is
+    taken over the cells it does have — a partial run still prints."""
     queries = queries or QUERY_ORDER
     lines = [grid.title, ""]
     header = " ".join(f"{q:>8}" for q in queries) + "      AVG"
     lines.append(f"{'':>12} {header}")
     for label, series in grid.series.items():
-        values = [series[q] for q in queries]
-        values.append(sum(values) / len(values))
+        values: List[Optional[float]] = [series.get(q) for q in queries]
+        present = [v for v in values if v is not None]
+        values.append(sum(present) / len(present) if present else None)
         lines.append(_format_row(label, values))
     return "\n".join(lines)
 
@@ -39,7 +51,13 @@ def normalized_averages(series: Dict[str, Dict[str, float]]
                         ) -> Dict[str, float]:
     """Average of each series divided by the first series' average."""
     labels = list(series)
+    if not labels:
+        raise BenchmarkError("cannot normalize an empty grid")
     base = average(series[labels[0]])
+    if base == 0:
+        raise BenchmarkError(
+            f"baseline series {labels[0]!r} averages 0.0 seconds; the "
+            f"grid cannot be normalized against it")
     return {label: average(series[label]) / base for label in labels}
 
 

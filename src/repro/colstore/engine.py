@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ChecksumError, CorruptPageError, PlanError
+from ..obs import Trace, Tracer
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.buffer_pool import BufferPool
@@ -49,6 +50,8 @@ class ColumnStoreRun:
     result: ResultSet
     stats: QueryStats
     cost: CostBreakdown
+    #: per-phase span tree; verified to sum exactly to ``stats``
+    trace: Optional[Trace] = None
 
     @property
     def seconds(self) -> float:
@@ -214,7 +217,9 @@ class CStore:
                 self.pool.clear()
             else:
                 self.disk.reset_head()
-            planner = ColumnPlanner(self._context(forbidden), config, level)
+            tracer = Tracer(stats, self.cost_model)
+            planner = ColumnPlanner(self._context(forbidden), config, level,
+                                    tracer=tracer)
             try:
                 result = planner.run(query)
             except ChecksumError as error:
@@ -222,7 +227,10 @@ class CStore:
                     error, forbidden, recoveries)
                 continue
             stats.recoveries += recoveries
-            return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+            # the span tree is verified to sum exactly to the flat ledger
+            trace = tracer.finish(stats)
+            return ColumnStoreRun(result, stats, self.cost_model.cost(stats),
+                                  trace=trace)
 
     def _plan_recovery(self, error: ChecksumError, forbidden: set,
                        recoveries: int) -> Tuple[set, int]:
@@ -328,17 +336,20 @@ class CStore:
         self.disk.stats = stats
         self.pool.clear()
         config = ExecutionConfig.row_store_like()
+        tracer = Tracer(stats, self.cost_model)
         planner = ColumnPlanner(self._context(), config,
-                                CompressionLevel.MAX)
+                                CompressionLevel.MAX, tracer=tracer)
 
-        raw = colfile.read_all(self.pool)
-        n = len(raw)
-        stats.iterator_calls += n  # the scan's per-tuple getNext
-        records = np.frombuffer(raw.tobytes(), dtype=fmt.dtype)
-        needed = query.fact_columns_needed()
-        fact_arrays = {c: np.ascontiguousarray(records[c]) for c in needed}
-        stats.tuples_constructed += n
-        stats.tuple_attrs_copied += n * len(needed)
+        with tracer.span("scan:row-mv"):
+            raw = colfile.read_all(self.pool)
+            n = len(raw)
+            stats.iterator_calls += n  # the scan's per-tuple getNext
+            records = np.frombuffer(raw.tobytes(), dtype=fmt.dtype)
+            needed = query.fact_columns_needed()
+            fact_arrays = {c: np.ascontiguousarray(records[c])
+                           for c in needed}
+            stats.tuples_constructed += n
+            stats.tuple_attrs_copied += n * len(needed)
 
         pred_domains = [
             (p.column, stored_bounds(
@@ -346,10 +357,12 @@ class CStore:
                 CompressionLevel.NONE))
             for p in query.fact_predicates()
         ]
-        dims = [planner._dimension_rows_early(query, d)
-                for d in query.dimensions_used()]
-        group_raw, agg_arrays, _dims = row_pipeline(
-            query, fact_arrays, pred_domains, dims, stats)
+        with tracer.span("phase1:dimension-filter"):
+            dims = [planner._dimension_rows_early(query, d)
+                    for d in query.dimensions_used()]
+        with tracer.span("row-pipeline"):
+            group_raw, agg_arrays, _dims = row_pipeline(
+                query, fact_arrays, pred_domains, dims, stats)
 
         from ..plan.aggregates import (
             finalize as finalize_agg,
@@ -359,25 +372,31 @@ class CStore:
 
         agg_funcs = [a.func for a in query.aggregates]
         if not query.group_by:
-            cells = [finalize_agg(func, *reduce_scalar(func, values))
-                     for func, values in zip(agg_funcs, agg_arrays)]
-            columns = [a.alias for a in query.aggregates]
-            result = ResultSet(columns, [tuple(cells)]).order_by(
-                query.order_by).limited(query.limit)
-            return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+            with tracer.span("aggregate"):
+                cells = [finalize_agg(func, *reduce_scalar(func, values))
+                         for func, values in zip(agg_funcs, agg_arrays)]
+            with tracer.span("sort"):
+                columns = [a.alias for a in query.aggregates]
+                result = ResultSet(columns, [tuple(cells)]).order_by(
+                    query.order_by).limited(query.limit)
+            return ColumnStoreRun(result, stats, self.cost_model.cost(stats),
+                                  trace=tracer.finish(stats))
 
-        group_arrays: List[np.ndarray] = []
-        planner._group_lookups = []
-        for raw_arr in group_raw:
-            codes, lookup = planner._normalize_group_array(raw_arr)
-            group_arrays.append(codes)
-            planner._group_lookups.append(lookup)
-        matrix = np.stack(group_arrays)
-        uniq, inverse = factorize_groups(matrix)
-        reduced = [reduce_groups(func, values, inverse, uniq.shape[1])
-                   for func, values in zip(agg_funcs, agg_arrays)]
-        result = planner._finalize(query, group_arrays, (uniq, reduced))
-        return ColumnStoreRun(result, stats, self.cost_model.cost(stats))
+        with tracer.span("aggregate"):
+            group_arrays: List[np.ndarray] = []
+            planner._group_lookups = []
+            for raw_arr in group_raw:
+                codes, lookup = planner._normalize_group_array(raw_arr)
+                group_arrays.append(codes)
+                planner._group_lookups.append(lookup)
+            matrix = np.stack(group_arrays)
+            uniq, inverse = factorize_groups(matrix)
+            reduced = [reduce_groups(func, values, inverse, uniq.shape[1])
+                       for func, values in zip(agg_funcs, agg_arrays)]
+        with tracer.span("sort"):
+            result = planner._finalize(query, group_arrays, (uniq, reduced))
+        return ColumnStoreRun(result, stats, self.cost_model.cost(stats),
+                              trace=tracer.finish(stats))
 
 
 class _ByteCType:

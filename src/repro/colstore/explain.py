@@ -15,6 +15,7 @@ from ..plan.logical import StarQuery
 from ..storage.colfile import CompressionLevel
 from ..core.config import ExecutionConfig
 from ..core.invisible_join import JoinStrategy
+from ..obs import Tracer, render_trace
 from .planner import ColumnPlanner, StoreContext
 
 
@@ -25,8 +26,10 @@ def explain(
     level: Optional[CompressionLevel] = None,
 ) -> str:
     """Execute ``query`` and render the plan with observed decisions."""
-    planner = ColumnPlanner(ctx, config, level)
+    tracer = Tracer(ctx.pool.stats)
+    planner = ColumnPlanner(ctx, config, level, tracer=tracer)
     result = planner.run(query)
+    trace = tracer.finish(planner.stats)
     lines: List[str] = [
         f"EXPLAIN {query.name} [column store, config {config.label}, "
         f"level {planner.level.value}]",
@@ -44,8 +47,10 @@ def explain(
     stats = planner.stats
     total = stats.pages_read + stats.buffer_hits
     rate = stats.buffer_hits / total if total else 0.0
+    # ``total`` counts every page *request*; only the misses went to disk.
     lines.append(
-        f"  buffer pool: {total} page read(s), {stats.pages_read} miss(es), "
+        f"  buffer pool: {total} page request(s), "
+        f"{stats.pages_read} miss(es) read from disk, "
         f"{stats.buffer_hits} hit(s) ({rate:.1%} hit rate)")
     if (stats.io_retries or stats.checksum_failures
             or stats.pages_quarantined or stats.recoveries):
@@ -61,6 +66,9 @@ def explain(
             + (f", {config.morsel_rows} row(s) per morsel"
                if config.morsel_rows else ""))
     lines.append(f"  => {len(result)} result row(s)")
+    lines.append("  span tree (simulated seconds):")
+    lines.extend(
+        "  " + line for line in render_trace(trace).splitlines()[1:])
     return "\n".join(lines)
 
 

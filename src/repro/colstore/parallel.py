@@ -35,12 +35,16 @@ accumulator semantics of :mod:`repro.plan.aggregates`.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, \
+    Tuple, TypeVar
 
 import numpy as np
 
 from ..core.config import ExecutionConfig
 from ..errors import ReproError
+
+if TYPE_CHECKING:  # import cycle: obs is engine-agnostic
+    from ..obs import Tracer
 from ..simio.buffer_pool import BufferPool, fill_page
 from ..simio.stats import QueryStats
 from ..storage.colfile import ColumnFile
@@ -111,11 +115,16 @@ class MorselEngine:
     value, same simulated I/O.
     """
 
-    def __init__(self, pool: BufferPool, config: ExecutionConfig) -> None:
+    def __init__(self, pool: BufferPool, config: ExecutionConfig,
+                 tracer: Optional["Tracer"] = None) -> None:
         self.pool = pool
         self.config = config
         self.workers = config.workers
         self.morsel_rows = config.morsel_rows
+        #: optional span tracer; when set, each barrier records one leaf
+        #: span per morsel (private CPU ledger + replayed I/O), in morsel
+        #: order, under whatever span the coordinator has open
+        self.tracer = tracer
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers,
             thread_name_prefix="morsel",
@@ -177,10 +186,16 @@ class MorselEngine:
                 # fault schedule.
                 if first_error is None:
                     first_error = error
-        for _result, tp in outs:
+        for morsel_no, (_result, tp) in enumerate(outs):
+            before = self.pool.stats.snapshot()
             for name, page_no, attempts in tp.trace:
                 self.pool.replay_read(name, page_no, attempts)
             self.pool.stats.merge(tp.stats)
+            if self.tracer is not None:
+                # one leaf per morsel: its private CPU ledger plus the
+                # I/O its trace just billed, recorded in morsel order
+                self.tracer.leaf(f"morsel:{morsel_no}",
+                                 self.pool.stats.diff(before))
         if first_error is not None:
             raise first_error
         return [result for result, _tp in outs]
@@ -194,8 +209,10 @@ class MorselEngine:
 
         futures = [self._executor.submit(run, item) for item in items]
         outs = [f.result() for f in futures]
-        for _result, local in outs:
+        for morsel_no, (_result, local) in enumerate(outs):
             self.pool.stats.merge(local)
+            if self.tracer is not None:
+                self.tracer.leaf(f"morsel:{morsel_no}", local)
         return [result for result, _local in outs]
 
     # ------------------------------------------------------------------ #
@@ -322,13 +339,14 @@ class MorselEngine:
         return [(edges[i], edges[i + 1]) for i in range(k)]
 
 
-def make_engine(pool: BufferPool, config: ExecutionConfig
+def make_engine(pool: BufferPool, config: ExecutionConfig,
+                tracer: Optional["Tracer"] = None
                 ) -> Optional[MorselEngine]:
     """An engine when the config asks for parallelism, else None (the
     serial code paths stay exactly as they were)."""
     if config.workers <= 1:
         return None
-    return MorselEngine(pool, config)
+    return MorselEngine(pool, config, tracer=tracer)
 
 
 __all__ = ["TracePool", "MorselEngine", "make_engine"]

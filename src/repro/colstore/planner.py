@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import PlanError
+from ..obs import Tracer, span_context
 from ..plan.logical import StarQuery
 from ..result import ResultSet, Row
 from ..simio.buffer_pool import BufferPool
@@ -131,12 +132,19 @@ class ColumnPlanner:
     """Plans and executes one StarQuery under one configuration."""
 
     def __init__(self, ctx: StoreContext, config: ExecutionConfig,
-                 level: Optional[CompressionLevel] = None) -> None:
+                 level: Optional[CompressionLevel] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.ctx = ctx
         self.config = config
         self.level = level if level is not None else (
             CompressionLevel.MAX if config.compression
             else CompressionLevel.NONE)
+        #: optional span tracer (tracing is passive: ledgers are
+        #: byte-identical with or without one attached)
+        self.tracer = tracer
+
+    def _span(self, name: str):
+        return span_context(self.tracer, name)
 
     @property
     def pool(self) -> BufferPool:
@@ -155,7 +163,8 @@ class ColumnPlanner:
         # would change nothing the paper measures.
         self.engine: Optional[MorselEngine] = None
         if self.config.late_materialization:
-            self.engine = make_engine(self.pool, self.config)
+            self.engine = make_engine(self.pool, self.config,
+                                      tracer=self.tracer)
         try:
             if self.config.late_materialization:
                 return self._run_late(query)
@@ -256,69 +265,77 @@ class ColumnPlanner:
         join_cls = InvisibleJoin if self.config.invisible_join \
             else LateMaterializedJoin
         join = join_cls(self.pool, self.config, fact_proj, dims, query,
-                        self.level, fact_catalog, engine=self.engine)
+                        self.level, fact_catalog, engine=self.engine,
+                        tracer=self.tracer)
         survivors, dim_rows = join.run()
         # kept for EXPLAIN: the join's run-time decisions
         self.last_join = join
         self.last_survivors = survivors.count
 
-        # aggregate inputs at surviving positions only
-        fact_arrays: Dict[str, np.ndarray] = {}
         from ..plan.logical import expr_columns
 
         from ..plan.aggregates import needs_expr_values
 
-        for agg in query.aggregates:
-            if not needs_expr_values(agg.func):
-                continue
-            for ref in expr_columns(agg.expr):
-                if ref.table == query.fact_table and \
-                        ref.column not in fact_arrays:
-                    colfile = fact_proj.column_file(ref.column)
-                    fact_arrays[ref.column] = self._fetch(colfile, survivors)
         agg_funcs = [a.func for a in query.aggregates]
-        agg_arrays = [
-            eval_fact_expr(a.expr, fact_arrays, self.stats, self.config)
-            if needs_expr_values(a.func)
-            else np.zeros(survivors.count, dtype=np.int64)
-            for a in query.aggregates
-        ]
+        with self._span("aggregate"):
+            # aggregate inputs at surviving positions only
+            fact_arrays: Dict[str, np.ndarray] = {}
+            for agg in query.aggregates:
+                if not needs_expr_values(agg.func):
+                    continue
+                for ref in expr_columns(agg.expr):
+                    if ref.table == query.fact_table and \
+                            ref.column not in fact_arrays:
+                        colfile = fact_proj.column_file(ref.column)
+                        fact_arrays[ref.column] = self._fetch(colfile,
+                                                              survivors)
+            agg_arrays = [
+                eval_fact_expr(a.expr, fact_arrays, self.stats, self.config)
+                if needs_expr_values(a.func)
+                else np.zeros(survivors.count, dtype=np.int64)
+                for a in query.aggregates
+            ]
 
-        if not query.group_by:
-            if self.engine is not None:
-                cells = self.engine.scalar(agg_arrays, funcs=agg_funcs)
+            if not query.group_by:
+                if self.engine is not None:
+                    cells = self.engine.scalar(agg_arrays, funcs=agg_funcs)
+                else:
+                    cells = scalar_aggregate(agg_arrays, self.stats,
+                                             self.config, funcs=agg_funcs)
+                reduction = None
             else:
-                cells = scalar_aggregate(agg_arrays, self.stats, self.config,
-                                         funcs=agg_funcs)
-            columns = [a.alias for a in query.aggregates]
-            return ResultSet(columns, [tuple(cells)]).order_by(
-                query.order_by).limited(query.limit)
+                group_arrays: List[np.ndarray] = []
+                self._group_lookups: List[Optional[np.ndarray]] = []
+                out_of_order = not self.config.invisible_join
+                for g in query.group_by:
+                    if g.table == query.fact_table:
+                        raw = self._fetch(fact_proj.column_file(g.column),
+                                          survivors)
+                    else:
+                        side = dims[g.table]
+                        attr_values = read_column(
+                            side.projection.column_file(g.column), self.pool,
+                            self.config)
+                        raw = gather_attribute(attr_values, dim_rows[g.table],
+                                               self.stats, self.config,
+                                               out_of_order=out_of_order)
+                    codes, lookup = self._normalize_group_array(raw)
+                    group_arrays.append(codes)
+                    self._group_lookups.append(lookup)
+                if self.engine is not None:
+                    reduction = self.engine.grouped(group_arrays, agg_arrays,
+                                                    funcs=agg_funcs)
+                else:
+                    reduction = grouped_aggregate(group_arrays, agg_arrays,
+                                                  self.stats, self.config,
+                                                  funcs=agg_funcs)
 
-        group_arrays: List[np.ndarray] = []
-        self._group_lookups: List[Optional[np.ndarray]] = []
-        out_of_order = not self.config.invisible_join
-        for g in query.group_by:
-            if g.table == query.fact_table:
-                raw = self._fetch(fact_proj.column_file(g.column), survivors)
-            else:
-                side = dims[g.table]
-                attr_values = read_column(
-                    side.projection.column_file(g.column), self.pool,
-                    self.config)
-                raw = gather_attribute(attr_values, dim_rows[g.table],
-                                       self.stats, self.config,
-                                       out_of_order=out_of_order)
-            codes, lookup = self._normalize_group_array(raw)
-            group_arrays.append(codes)
-            self._group_lookups.append(lookup)
-        if self.engine is not None:
-            reduction = self.engine.grouped(group_arrays, agg_arrays,
-                                            funcs=agg_funcs)
-        else:
-            reduction = grouped_aggregate(group_arrays, agg_arrays,
-                                          self.stats, self.config,
-                                          funcs=agg_funcs)
-        result = self._finalize(query, group_arrays, reduction)
+        with self._span("sort"):
+            if reduction is None:
+                columns = [a.alias for a in query.aggregates]
+                return ResultSet(columns, [tuple(cells)]).order_by(
+                    query.order_by).limited(query.limit)
+            result = self._finalize(query, group_arrays, reduction)
         del self._group_lookups
         return result
 
@@ -363,20 +380,24 @@ class ColumnPlanner:
     def _run_early(self, query: StarQuery) -> ResultSet:
         fact_proj = self.ctx.projection(query.fact_table, self.level)
         needed = query.fact_columns_needed()
-        fact_arrays = {
-            c: read_column(fact_proj.column_file(c), self.pool, self.config)
-            for c in needed
-        }
+        with self._span("scan:fact-columns"):
+            fact_arrays = {
+                c: read_column(fact_proj.column_file(c), self.pool,
+                               self.config)
+                for c in needed
+            }
         pred_domains = [
             (p.column, stored_bounds(
                 p, self.ctx.catalog_column(query.fact_table, p.column),
                 self.level))
             for p in query.fact_predicates()
         ]
-        dims = [self._dimension_rows_early(query, d)
-                for d in query.dimensions_used()]
-        group_raw, agg_arrays, _group_dims = row_pipeline(
-            query, fact_arrays, pred_domains, dims, self.stats)
+        with self._span("phase1:dimension-filter"):
+            dims = [self._dimension_rows_early(query, d)
+                    for d in query.dimensions_used()]
+        with self._span("row-pipeline"):
+            group_raw, agg_arrays, _group_dims = row_pipeline(
+                query, fact_arrays, pred_domains, dims, self.stats)
 
         from ..plan.aggregates import (
             finalize as finalize_agg,
@@ -385,35 +406,41 @@ class ColumnPlanner:
         )
 
         agg_funcs = [a.func for a in query.aggregates]
-        if not query.group_by:
-            cells = [
-                finalize_agg(func, *reduce_scalar(func, values))
-                for func, values in zip(agg_funcs, agg_arrays)
-            ]
-            columns = [a.alias for a in query.aggregates]
-            return ResultSet(columns, [tuple(cells)]).order_by(
-                query.order_by).limited(query.limit)
+        with self._span("aggregate"):
+            if not query.group_by:
+                cells = [
+                    finalize_agg(func, *reduce_scalar(func, values))
+                    for func, values in zip(agg_funcs, agg_arrays)
+                ]
+                reduction = None
+            else:
+                group_arrays: List[np.ndarray] = []
+                self._group_lookups = []
+                for raw in group_raw:
+                    codes, lookup = self._normalize_group_array(raw)
+                    group_arrays.append(codes)
+                    self._group_lookups.append(lookup)
+                # consolidation (already paid per tuple in the pipeline)
+                matrix = np.stack(group_arrays) if group_arrays else \
+                    np.zeros((0, 0), dtype=np.int64)
+                if matrix.shape[1] == 0:
+                    uniq = matrix
+                    reduced = [(np.zeros(0, dtype=np.int64), None)
+                               for _ in agg_arrays]
+                else:
+                    uniq, inverse = factorize_groups(matrix)
+                    reduced = [
+                        reduce_groups(func, values, inverse, uniq.shape[1])
+                        for func, values in zip(agg_funcs, agg_arrays)
+                    ]
+                reduction = (uniq, reduced)
 
-        group_arrays: List[np.ndarray] = []
-        self._group_lookups = []
-        for raw in group_raw:
-            codes, lookup = self._normalize_group_array(raw)
-            group_arrays.append(codes)
-            self._group_lookups.append(lookup)
-        # consolidation itself (already paid per tuple in the pipeline)
-        matrix = np.stack(group_arrays) if group_arrays else \
-            np.zeros((0, 0), dtype=np.int64)
-        if matrix.shape[1] == 0:
-            uniq = matrix
-            reduced = [(np.zeros(0, dtype=np.int64), None)
-                       for _ in agg_arrays]
-        else:
-            uniq, inverse = factorize_groups(matrix)
-            reduced = [
-                reduce_groups(func, values, inverse, uniq.shape[1])
-                for func, values in zip(agg_funcs, agg_arrays)
-            ]
-        result = self._finalize(query, group_arrays, (uniq, reduced))
+        with self._span("sort"):
+            if reduction is None:
+                columns = [a.alias for a in query.aggregates]
+                return ResultSet(columns, [tuple(cells)]).order_by(
+                    query.order_by).limited(query.limit)
+            result = self._finalize(query, group_arrays, reduction)
         del self._group_lookups
         return result
 

@@ -61,8 +61,11 @@ from ..colstore.positions import (
 )
 from .config import ExecutionConfig
 
+from ..obs import span_context
+
 if TYPE_CHECKING:  # avoid an import at module load; only used for typing
     from ..colstore.parallel import MorselEngine
+    from ..obs import Tracer
 
 
 class JoinStrategy(enum.Enum):
@@ -114,6 +117,7 @@ class _JoinBase:
         query: StarQuery,
         level: CompressionLevel,
         engine: Optional["MorselEngine"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.pool = pool
         self.config = config
@@ -125,6 +129,11 @@ class _JoinBase:
         #: Dimension-side work stays serial: dimension tables are small
         #: and phase 1 is never the bottleneck.
         self.engine = engine
+        #: optional span tracer; the three join phases open one span each
+        self.tracer = tracer
+
+    def _span(self, name: str):
+        return span_context(self.tracer, name)
 
     @property
     def stats(self) -> QueryStats:
@@ -260,9 +269,10 @@ class InvisibleJoin(_JoinBase):
     def __init__(self, pool, config, fact_projection, dims, query, level,
                  fact_catalog: Dict[str, Column],
                  allow_between: bool = True,
-                 engine: Optional["MorselEngine"] = None) -> None:
+                 engine: Optional["MorselEngine"] = None,
+                 tracer: Optional["Tracer"] = None) -> None:
         super().__init__(pool, config, fact_projection, dims, query, level,
-                         engine=engine)
+                         engine=engine, tracer=tracer)
         self.fact_catalog = fact_catalog
         self.allow_between = (allow_between and config.invisible_join
                               and config.between_rewriting)
@@ -281,51 +291,58 @@ class InvisibleJoin(_JoinBase):
         query = self.query
         # phase 1
         filtered: List[DimensionFilter] = []
-        for dim_name in query.dimensions_used():
-            dim = self.dims[dim_name]
-            preds = query.dimension_predicates(dim_name)
-            f = self.filter_dimension(dim, preds, self.allow_between)
-            self.filters[dim_name] = f
-            if f.strategy is not JoinStrategy.NONE:
-                filtered.append(f)
+        with self._span("phase1:dimension-filter"):
+            for dim_name in query.dimensions_used():
+                dim = self.dims[dim_name]
+                preds = query.dimension_predicates(dim_name)
+                f = self.filter_dimension(dim, preds, self.allow_between)
+                self.filters[dim_name] = f
+                if f.strategy is not JoinStrategy.NONE:
+                    filtered.append(f)
 
         # phase 2
-        tasks: List[Tuple[float, str, object, Optional[DimensionFilter]]] = []
-        for priority, column, domain in self._fact_pred_tasks():
-            tasks.append((priority, column, domain, None))
-        for f in filtered:
-            fk = query.fk_of(f.dimension)
-            sort_pos = self.fact.sorted_on(fk)
-            if sort_pos is not None:
-                priority = float(sort_pos)
+        with self._span("phase2:fact-scan"):
+            tasks: List[Tuple[float, str, object,
+                              Optional[DimensionFilter]]] = []
+            for priority, column, domain in self._fact_pred_tasks():
+                tasks.append((priority, column, domain, None))
+            for f in filtered:
+                fk = query.fk_of(f.dimension)
+                sort_pos = self.fact.sorted_on(fk)
+                if sort_pos is not None:
+                    priority = float(sort_pos)
+                else:
+                    priority = 20.0 + f.selectivity
+                domain = f.key_bounds \
+                    if f.strategy is JoinStrategy.BETWEEN else None
+                tasks.append((priority, fk, domain, f))
+            if tasks:
+                survivors = self._apply_fact_tasks(tasks)
             else:
-                priority = 20.0 + f.selectivity
-            domain = f.key_bounds if f.strategy is JoinStrategy.BETWEEN \
-                else None
-            tasks.append((priority, fk, domain, f))
-        if tasks:
-            survivors = self._apply_fact_tasks(tasks)
-        else:
-            survivors = RangePositions(0, self.fact.num_rows)
+                survivors = RangePositions(0, self.fact.num_rows)
 
         # phase 3
-        dim_rows: Dict[str, np.ndarray] = {}
-        group_dims = {g.table for g in query.group_by
-                      if g.table != query.fact_table}
-        for dim_name in sorted(group_dims):
-            dim = self.dims[dim_name]
-            fk_file = self.fact.column_file(query.fk_of(dim_name))
-            fk_values = self._fact_fetch(fk_file, survivors).astype(np.int64)
-            if dim.contiguous_from is not None:
-                rows = dimension_rows_for_keys(
-                    fk_values, self.stats, self.config, dim.contiguous_from)
-            else:
-                keys = read_column(dim.projection.column_file(dim.key_column),
-                                   self.pool, self.config).astype(np.int64)
-                rows = dimension_rows_for_keys(
-                    fk_values, self.stats, self.config, None,
-                    sorted_keys=keys)
-            dim_rows[dim_name] = rows
+        with self._span("phase3:extraction"):
+            dim_rows: Dict[str, np.ndarray] = {}
+            group_dims = {g.table for g in query.group_by
+                          if g.table != query.fact_table}
+            for dim_name in sorted(group_dims):
+                dim = self.dims[dim_name]
+                fk_file = self.fact.column_file(query.fk_of(dim_name))
+                fk_values = self._fact_fetch(fk_file,
+                                             survivors).astype(np.int64)
+                if dim.contiguous_from is not None:
+                    rows = dimension_rows_for_keys(
+                        fk_values, self.stats, self.config,
+                        dim.contiguous_from)
+                else:
+                    keys = read_column(
+                        dim.projection.column_file(dim.key_column),
+                        self.pool, self.config).astype(np.int64)
+                    rows = dimension_rows_for_keys(
+                        fk_values, self.stats, self.config, None,
+                        sorted_keys=keys)
+                dim_rows[dim_name] = rows
         return survivors, dim_rows
 
 
@@ -341,9 +358,10 @@ class LateMaterializedJoin(_JoinBase):
 
     def __init__(self, pool, config, fact_projection, dims, query, level,
                  fact_catalog: Dict[str, Column],
-                 engine: Optional["MorselEngine"] = None) -> None:
+                 engine: Optional["MorselEngine"] = None,
+                 tracer: Optional["Tracer"] = None) -> None:
         super().__init__(pool, config, fact_projection, dims, query, level,
-                         engine=engine)
+                         engine=engine, tracer=tracer)
         self.fact_catalog = fact_catalog
         self.filters: Dict[str, DimensionFilter] = {}
 
@@ -353,39 +371,46 @@ class LateMaterializedJoin(_JoinBase):
     def run(self) -> Tuple[Positions, Dict[str, np.ndarray]]:
         query = self.query
         filtered: List[DimensionFilter] = []
-        for dim_name in query.dimensions_used():
-            dim = self.dims[dim_name]
-            preds = query.dimension_predicates(dim_name)
-            f = self.filter_dimension(dim, preds, allow_between=False)
-            self.filters[dim_name] = f
-            if f.strategy is not JoinStrategy.NONE:
-                filtered.append(f)
+        with self._span("phase1:dimension-filter"):
+            for dim_name in query.dimensions_used():
+                dim = self.dims[dim_name]
+                preds = query.dimension_predicates(dim_name)
+                f = self.filter_dimension(dim, preds, allow_between=False)
+                self.filters[dim_name] = f
+                if f.strategy is not JoinStrategy.NONE:
+                    filtered.append(f)
 
-        tasks: List[Tuple[float, str, object, Optional[DimensionFilter]]] = []
-        for priority, column, domain in self._fact_pred_tasks():
-            tasks.append((priority, column, domain, None))
-        for f in filtered:
-            fk = query.fk_of(f.dimension)
-            tasks.append((20.0 + f.selectivity, fk, None, f))
-        if tasks:
-            survivors = self._apply_fact_tasks(tasks)
-        else:
-            survivors = RangePositions(0, self.fact.num_rows)
+        with self._span("phase2:fact-scan"):
+            tasks: List[Tuple[float, str, object,
+                              Optional[DimensionFilter]]] = []
+            for priority, column, domain in self._fact_pred_tasks():
+                tasks.append((priority, column, domain, None))
+            for f in filtered:
+                fk = query.fk_of(f.dimension)
+                tasks.append((20.0 + f.selectivity, fk, None, f))
+            if tasks:
+                survivors = self._apply_fact_tasks(tasks)
+            else:
+                survivors = RangePositions(0, self.fact.num_rows)
 
-        dim_rows: Dict[str, np.ndarray] = {}
-        group_dims = {g.table for g in query.group_by
-                      if g.table != query.fact_table}
-        for dim_name in sorted(group_dims):
-            dim = self.dims[dim_name]
-            fk_file = self.fact.column_file(query.fk_of(dim_name))
-            fk_values = self._fact_fetch(fk_file, survivors).astype(np.int64)
-            # the LM join resolves dimension rows by hash lookup even for
-            # contiguous keys — it has no key/position equivalence notion
-            keys = read_column(dim.projection.column_file(dim.key_column),
-                               self.pool, self.config).astype(np.int64)
-            rows = dimension_rows_for_keys(
-                fk_values, self.stats, self.config, None, sorted_keys=keys)
-            dim_rows[dim_name] = rows
+        with self._span("phase3:extraction"):
+            dim_rows: Dict[str, np.ndarray] = {}
+            group_dims = {g.table for g in query.group_by
+                          if g.table != query.fact_table}
+            for dim_name in sorted(group_dims):
+                dim = self.dims[dim_name]
+                fk_file = self.fact.column_file(query.fk_of(dim_name))
+                fk_values = self._fact_fetch(fk_file,
+                                             survivors).astype(np.int64)
+                # the LM join resolves dimension rows by hash lookup even
+                # for contiguous keys — it has no key/position
+                # equivalence notion
+                keys = read_column(dim.projection.column_file(dim.key_column),
+                                   self.pool, self.config).astype(np.int64)
+                rows = dimension_rows_for_keys(
+                    fk_values, self.stats, self.config, None,
+                    sorted_keys=keys)
+                dim_rows[dim_name] = rows
         return survivors, dim_rows
 
 

@@ -119,3 +119,12 @@ class SqlBindError(SqlError):
 
 class BenchmarkError(ReproError):
     """The benchmark harness was misconfigured or a run failed."""
+
+
+class TraceInvariantError(ReproError):
+    """A query's span tree does not sum to its flat ledger.
+
+    Raised by :meth:`repro.obs.Trace.verify` when per-span attribution
+    loses or double-counts work — always a bug in span placement, never
+    a data problem, which is why it is enforced on every execution.
+    """

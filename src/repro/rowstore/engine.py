@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..errors import ChecksumError, CorruptPageError, PlanError
+from ..obs import Trace, Tracer
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.buffer_pool import BufferPool
@@ -43,6 +44,8 @@ class RowStoreRun:
     result: ResultSet
     stats: QueryStats
     cost: CostBreakdown
+    #: per-phase span tree; verified to sum exactly to ``stats``
+    trace: Optional[Trace] = None
 
     @property
     def seconds(self) -> float:
@@ -155,8 +158,9 @@ class SystemX:
         else:
             self.disk.reset_head()
         spill = SpillAccountant(self.disk, self.join_memory_bytes)
+        tracer = Tracer(stats, self.cost_model)
         planner = RowPlanner(self.pool, self.artifacts, self.data, spill,
-                             statistics=self.statistics)
+                             statistics=self.statistics, tracer=tracer)
         try:
             result = planner.run(query, design,
                                  prune_partitions=prune_partitions,
@@ -170,25 +174,39 @@ class SystemX:
                 error.file, error.page_no, error.disk_no,
                 detail="row-store artifacts have no redundant copy",
             ) from error
-        return RowStoreRun(result, stats, self.cost_model.cost(stats))
+        trace = tracer.finish(stats)
+        return RowStoreRun(result, stats, self.cost_model.cost(stats),
+                           trace=trace)
 
     def storage_bytes(self) -> int:
         """Total simulated disk occupied by all built artifacts."""
         return self.disk.total_bytes
 
     def explain(self, query: StarQuery, design: DesignKind,
-                prune_partitions: bool = True) -> str:
+                prune_partitions: bool = True, analyze: bool = False) -> str:
         """Describe the plan ``design`` would execute for ``query``
-        (Section 6.2.1's plan shapes), without perturbing any ledger."""
-        from .explain import explain as _explain
+        (Section 6.2.1's plan shapes), without perturbing any ledger.
+
+        ``analyze=True`` additionally runs the query on a throwaway
+        ledger and appends the observed per-phase span tree."""
+        from .explain import explain as _explain, render_span_section
 
         if design not in self._built:
             raise PlanError(
                 f"design {design.value} was not built; available: "
                 f"{[d.value for d in self.designs]}"
             )
-        return _explain(self.data, self.artifacts, query, design,
+        text = _explain(self.data, self.artifacts, query, design,
                         prune_partitions=prune_partitions)
+        if analyze:
+            saved = self.disk.stats
+            try:
+                run = self.execute(query, design,
+                                   prune_partitions=prune_partitions)
+            finally:
+                self.disk.stats = saved
+            text += "\n" + render_span_section(run.trace)
+        return text
 
 
 __all__ = ["SystemX", "RowStoreRun", "PAPER_BUFFER_POOL_BYTES",

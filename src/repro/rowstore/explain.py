@@ -149,6 +149,16 @@ def _explain_index_only(query, dims) -> List[str]:
     return lines
 
 
+def render_span_section(trace) -> str:
+    """The EXPLAIN ANALYZE tail: an observed span tree (see
+    :mod:`repro.obs`), indented to match the plan lines."""
+    from ..obs import render_trace
+
+    lines = ["  span tree (simulated seconds):"]
+    lines += ["  " + line for line in render_trace(trace).splitlines()[1:]]
+    return "\n".join(lines)
+
+
 def _tail(query: StarQuery) -> str:
     aggs = ", ".join(f"{a.func}(...) as {a.alias}"
                      for a in query.aggregates)
@@ -163,4 +173,4 @@ def _tail(query: StarQuery) -> str:
     return tail
 
 
-__all__ = ["explain"]
+__all__ = ["explain", "render_span_section"]

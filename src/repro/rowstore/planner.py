@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import PlanError
+from ..obs import Tracer, span_context
 from ..plan.logical import (
     ColumnRef,
     Comparison,
@@ -79,6 +80,7 @@ class RowPlanner:
         catalog: SsbData,
         spill: SpillAccountant,
         statistics=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.pool = pool
         self.artifacts = artifacts
@@ -89,6 +91,12 @@ class RowPlanner:
 
             statistics = CatalogStatistics(catalog.tables)
         self.statistics = statistics
+        #: optional span tracer (tracing is passive: ledgers are
+        #: byte-identical with or without one attached)
+        self.tracer = tracer
+
+    def _span(self, name: str):
+        return span_context(self.tracer, name)
 
     @property
     def stats(self) -> QueryStats:
@@ -124,21 +132,22 @@ class RowPlanner:
         exactly how a commercial optimizer decides (the estimates are
         also what EXPLAIN prints)."""
         out: List[Tuple[str, HashTable, float]] = []
-        for dim in query.dimensions_used():
-            heap = self.artifacts.heaps[dim]
-            key_col = query.key_of(dim)
-            attrs = query.group_by_of(dim)
-            stream = seq_scan(
-                heap, self.pool, dim,
-                out_columns=[key_col] + attrs,
-                predicates=query.dimension_predicates(dim),
-            )
-            table = HashTable.from_stream(
-                stream, qualified(dim, key_col),
-                [qualified(dim, a) for a in attrs], self.stats)
-            estimate = self.statistics.estimate_dimension(
-                dim, query.dimension_predicates(dim))
-            out.append((dim, table, estimate))
+        with self._span("dimension-filter"):
+            for dim in query.dimensions_used():
+                heap = self.artifacts.heaps[dim]
+                key_col = query.key_of(dim)
+                attrs = query.group_by_of(dim)
+                stream = seq_scan(
+                    heap, self.pool, dim,
+                    out_columns=[key_col] + attrs,
+                    predicates=query.dimension_predicates(dim),
+                )
+                table = HashTable.from_stream(
+                    stream, qualified(dim, key_col),
+                    [qualified(dim, a) for a in attrs], self.stats)
+                estimate = self.statistics.estimate_dimension(
+                    dim, query.dimension_predicates(dim))
+                out.append((dim, table, estimate))
         out.sort(key=lambda item: item[2])
         return out
 
@@ -200,24 +209,30 @@ class RowPlanner:
         aggregator = HashAggregator(group_names, agg_names,
                                     [a.func for a in query.aggregates])
         group_keys = [qualified(g.table, g.column) for g in query.group_by]
-        for batch in stream:
-            n = len(batch)
-            self.stats.attr_extractions += n * len(group_keys)
-            group_arrays = [batch.column(k) for k in group_keys]
-            agg_arrays = [
-                eval_expr_rows(a.expr, batch, query.fact_table, self.stats)
-                if needs_expr_values(a.func)
-                else np.zeros(n, dtype=np.int64)
-                for a in query.aggregates
-            ]
-            aggregator.consume(group_arrays, agg_arrays, self.stats)
-        result = aggregator.result()
-        if not query.group_by and not result.rows:
-            result.rows.append(tuple(
-                finalize(a.func, *empty_accumulator(a.func))
-                for a in query.aggregates))
-        result = result.order_by(query.order_by).limited(query.limit)
-        charge_result_sort(result, self.stats)
+        # The scan and joins are lazy generators drained by this loop, so
+        # their work is indivisible from the aggregation — one honest span
+        # covers the whole pipeline rather than pretending to split it.
+        with self._span("pipeline:scan-join-aggregate"):
+            for batch in stream:
+                n = len(batch)
+                self.stats.attr_extractions += n * len(group_keys)
+                group_arrays = [batch.column(k) for k in group_keys]
+                agg_arrays = [
+                    eval_expr_rows(a.expr, batch, query.fact_table,
+                                   self.stats)
+                    if needs_expr_values(a.func)
+                    else np.zeros(n, dtype=np.int64)
+                    for a in query.aggregates
+                ]
+                aggregator.consume(group_arrays, agg_arrays, self.stats)
+            result = aggregator.result()
+            if not query.group_by and not result.rows:
+                result.rows.append(tuple(
+                    finalize(a.func, *empty_accumulator(a.func))
+                    for a in query.aggregates))
+        with self._span("sort"):
+            result = result.order_by(query.order_by).limited(query.limit)
+            charge_result_sort(result, self.stats)
         return result
 
     # ------------------------------------------------------------------ #
@@ -288,33 +303,35 @@ class RowPlanner:
         dim_tables = self._dim_hash_tables(query)
         fact_heap = self.artifacts.heaps["lineorder"]
         rid_sets: List[np.ndarray] = []
-        # dimension predicates -> FK bitmap unions
-        filtered_dims = {p.table for p in query.predicates
-                         if p.table != query.fact_table}
-        for dim, table, _sel in dim_tables:
-            if dim not in filtered_dims:
-                continue
-            fk = query.fk_of(dim)
-            index = self.artifacts.bitmaps.get(fk)
-            if index is None:
-                continue
-            matching_keys = table.matching_keys()
-            rid_sets.append(index.read_union(self.pool, matching_keys))
-        # fact predicates -> bitmap range reads where indexed
         leftover_preds: List[Predicate] = []
-        for pred in query.fact_predicates():
-            rids = self._bitmap_rids_for_fact_pred(pred)
-            if rids is None:
-                leftover_preds.append(pred)
-            else:
-                rid_sets.append(rids)
+        with self._span("fact-scan:bitmap"):
+            # dimension predicates -> FK bitmap unions
+            filtered_dims = {p.table for p in query.predicates
+                             if p.table != query.fact_table}
+            for dim, table, _sel in dim_tables:
+                if dim not in filtered_dims:
+                    continue
+                fk = query.fk_of(dim)
+                index = self.artifacts.bitmaps.get(fk)
+                if index is None:
+                    continue
+                matching_keys = table.matching_keys()
+                rid_sets.append(index.read_union(self.pool, matching_keys))
+            # fact predicates -> bitmap range reads where indexed
+            for pred in query.fact_predicates():
+                rids = self._bitmap_rids_for_fact_pred(pred)
+                if rids is None:
+                    leftover_preds.append(pred)
+                else:
+                    rid_sets.append(rids)
+            if rid_sets:
+                rids = intersect_rid_sets(self.pool, rid_sets)
         if not rid_sets:
             # nothing bitmap-able: degrade to a plain scan of the heap
             stream = seq_scan(
                 fact_heap, self.pool, query.fact_table,
                 self._fact_out_columns(query), query.fact_predicates())
         else:
-            rids = intersect_rid_sets(self.pool, rid_sets)
             stream = heap_fetch(
                 fact_heap, self.pool, rids, query.fact_table,
                 self._fact_out_columns(query)
@@ -426,20 +443,23 @@ class RowPlanner:
         stages.sort(key=lambda s: s[0])
 
         # stage 2: successively position-join the result sets together
-        current = self._materialize_keyed(stages[0][1], pos_key,
-                                          charge=vp_join == "hash")
-        for _sel, stream, _prefix in stages[1:]:
-            current = join_step(current, stream, pos_key, estimate)
+        # (draining the stage-1 column scans and dimension probes as the
+        # joins materialize, so the span covers both)
+        with self._span("fact-scan:vertical-partitions"):
+            current = self._materialize_keyed(stages[0][1], pos_key,
+                                              charge=vp_join == "hash")
+            for _sel, stream, _prefix in stages[1:]:
+                current = join_step(current, stream, pos_key, estimate)
 
-        # stage 3: pick up remaining needed columns by position join
-        have = set(current.payload_names()) | {pos_key}
-        for column in self._fact_out_columns(query):
-            name = qualified(fact, column)
-            if name in have:
-                continue
-            scan = column_scan(column)
-            current = join_step(current, scan, pos_key, estimate)
-            have.add(name)
+            # stage 3: pick up remaining needed columns by position join
+            have = set(current.payload_names()) | {pos_key}
+            for column in self._fact_out_columns(query):
+                name = qualified(fact, column)
+                if name in have:
+                    continue
+                scan = column_scan(column)
+                current = join_step(current, scan, pos_key, estimate)
+                have.add(name)
 
         stream = current.as_batches(pos_key)
         return self._aggregate(query, stream)
@@ -520,19 +540,22 @@ class RowPlanner:
         # 1. join the needed fact columns on rid, in schema order —
         #    System X cannot defer these joins past the dimension joins
         fact_cols = query.fact_columns_needed()
-        current = self._materialize_keyed(
-            self._fact_index_stream(query, fact_cols[0]), "_rid")
-        for column in fact_cols[1:]:
-            stream = self._fact_index_stream(query, column)
-            current = self._position_join(current, stream, "_rid", estimate)
+        with self._span("fact-scan:index-rid-joins"):
+            current = self._materialize_keyed(
+                self._fact_index_stream(query, fact_cols[0]), "_rid")
+            for column in fact_cols[1:]:
+                stream = self._fact_index_stream(query, column)
+                current = self._position_join(current, stream, "_rid",
+                                              estimate)
 
         # 2. per-dimension hash tables from composite-key index scans
         dim_tables: List[Tuple[str, HashTable, float]] = []
-        for dim in query.dimensions_used():
-            table = self._dim_table_from_indexes(query, dim)
-            selectivity = table.num_entries / max(
-                self.catalog.table(dim).num_rows, 1)
-            dim_tables.append((dim, table, selectivity))
+        with self._span("dimension-filter"):
+            for dim in query.dimensions_used():
+                table = self._dim_table_from_indexes(query, dim)
+                selectivity = table.num_entries / max(
+                    self.catalog.table(dim).num_rows, 1)
+                dim_tables.append((dim, table, selectivity))
         dim_tables.sort(key=lambda item: item[2])
 
         # 3. probe the joined fact columns against each dimension

@@ -113,6 +113,12 @@ class QueryStats:
         """Return a dict copy of all counters."""
         return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
 
+    def nonzero(self) -> Dict[str, int]:
+        """Nonzero counters only, sorted by name (for compact artifacts
+        with a stable key order)."""
+        return {name: value for name, value in sorted(self.snapshot().items())
+                if value}
+
     def reset(self) -> None:
         """Zero every counter in place."""
         for f in dataclass_fields(self):

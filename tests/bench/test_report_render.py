@@ -1,0 +1,142 @@
+"""Grid aggregation guards and renderer edge cases (no engine runs)."""
+
+import pytest
+
+from repro.bench.harness import RunGrid
+from repro.bench.report import (
+    normalized_averages,
+    render_bars,
+    render_cost_breakdown,
+    render_grid,
+)
+from repro.errors import BenchmarkError
+from repro.simio.stats import PAPER_2008, QueryStats
+
+
+def _aligned_grid():
+    grid = RunGrid("t")
+    for label, scale in (("a", 1.0), ("b", 2.0)):
+        for q in ("Q1.1", "Q1.2"):
+            grid.add(label, q, scale)
+    return grid
+
+
+# --------------------------------------------------------------------- #
+# RunGrid.averages / query_names
+# --------------------------------------------------------------------- #
+def test_averages_rejects_misaligned_series():
+    grid = _aligned_grid()
+    grid.add("c", "Q1.1", 5.0)  # c is missing Q1.2
+    with pytest.raises(BenchmarkError, match="'c'"):
+        grid.averages()
+
+
+def test_averages_names_extra_queries():
+    grid = _aligned_grid()
+    grid.add("b", "Q9.9", 1.0)
+    with pytest.raises(BenchmarkError, match="Q9.9"):
+        grid.averages()
+
+
+def test_averages_rejects_empty_series():
+    grid = RunGrid("t")
+    grid.series["empty"] = {}
+    with pytest.raises(BenchmarkError, match="no measurements"):
+        grid.averages()
+
+
+def test_query_names_empty_grid_is_typed_error():
+    with pytest.raises(BenchmarkError, match="no series"):
+        RunGrid("empty figure").query_names()
+
+
+def test_validate_aligned_accepts_good_and_empty_grids():
+    _aligned_grid().validate_aligned()
+    RunGrid("empty").validate_aligned()
+
+
+# --------------------------------------------------------------------- #
+# render_grid
+# --------------------------------------------------------------------- #
+def test_render_grid_partial_series_renders_dashes():
+    grid = _aligned_grid()
+    grid.add("c", "Q1.1", 5.0)  # no Q1.2 measurement
+    table = render_grid(grid, queries=["Q1.1", "Q1.2"])
+    c_line = next(l for l in table.splitlines() if l.strip().startswith("c"))
+    assert "-" in c_line
+    # AVG over the present cells only: 5.0, not 2.5
+    assert "5.0000" in c_line
+    # complete rows render without dashes
+    a_line = next(l for l in table.splitlines() if l.strip().startswith("a"))
+    assert "-" not in a_line
+
+
+def test_render_grid_empty_grid_renders_header_only():
+    table = render_grid(RunGrid("empty"), queries=["Q1.1"])
+    assert "empty" in table and "AVG" in table
+
+
+# --------------------------------------------------------------------- #
+# normalized_averages
+# --------------------------------------------------------------------- #
+def test_normalized_averages_zero_baseline_is_typed_error():
+    series = {"base": {"Q1.1": 0.0, "Q1.2": 0.0}, "other": {"Q1.1": 1.0}}
+    with pytest.raises(BenchmarkError, match="'base'"):
+        normalized_averages(series)
+
+
+def test_normalized_averages_empty_is_typed_error():
+    with pytest.raises(BenchmarkError, match="empty"):
+        normalized_averages({})
+
+
+# --------------------------------------------------------------------- #
+# render_cost_breakdown
+# --------------------------------------------------------------------- #
+def _shares(text):
+    return [float(line.split()[-1].rstrip("%"))
+            for line in text.splitlines() if line.strip().endswith("%")]
+
+
+def test_cost_breakdown_shares_sum_to_100():
+    stats = QueryStats()
+    stats.bytes_read = 10 * 1024 * 1024
+    stats.seeks = 4
+    stats.hash_probes = 100_000
+    stats.agg_updates = 50_000
+    text = render_cost_breakdown(stats, PAPER_2008, "demo")
+    assert "demo" in text and "TOTAL" in text
+    assert sum(_shares(text)) == pytest.approx(100.0, abs=1.5)
+
+
+def test_cost_breakdown_retry_backoff_row_only_when_nonzero():
+    stats = QueryStats()
+    stats.bytes_read = 1024
+    assert "retry backoff" not in render_cost_breakdown(stats, PAPER_2008)
+    stats.retry_backoff_us = 500
+    assert "retry backoff" in render_cost_breakdown(stats, PAPER_2008)
+
+
+def test_cost_breakdown_zero_total_no_division():
+    text = render_cost_breakdown(QueryStats(), PAPER_2008, "idle")
+    assert "TOTAL" in text
+    assert all(share == 0.0 for share in _shares(text))
+
+
+# --------------------------------------------------------------------- #
+# render_bars
+# --------------------------------------------------------------------- #
+def test_render_bars_zero_totals_no_division():
+    grid = RunGrid("t")
+    grid.add("a", "Q1.1", 0.0)
+    grid.add("b", "Q1.1", 0.0)
+    text = render_bars(grid, width=8)
+    assert "averages" in text
+    assert "0.0000s" in text
+
+
+def test_render_bars_rejects_misaligned_grid():
+    grid = _aligned_grid()
+    grid.add("c", "Q1.1", 1.0)
+    with pytest.raises(BenchmarkError):
+        render_bars(grid)

@@ -47,6 +47,86 @@ def test_bench_rejects_unknown_target():
         bench_main(["figure9"])
 
 
+def test_bench_requires_target_without_check():
+    with pytest.raises(SystemExit):
+        bench_main(["--sf", "0.004"])
+
+
+def test_bench_trace_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "traces.jsonl"
+    assert bench_main(["figure7", "--sf", "0.004",
+                       "--trace-json", str(path)]) == 0
+    from repro.core.config import CONFIG_LADDER
+    from repro.ssb.queries import ALL_QUERIES
+
+    lines = path.read_text().splitlines()
+    # one record per ladder config per query
+    assert len(lines) == len(CONFIG_LADDER) * len(ALL_QUERIES)
+    for line in lines:
+        record = json.loads(line)
+        assert record["schema"] == "repro-trace-v1"
+        assert record["figure"] == "figure7"
+        assert record["engine"] == "colstore"
+        assert record["spans"]["name"] == "query"
+        child_total = sum(c["total_seconds"]
+                          for c in record["spans"]["children"])
+        assert child_total <= record["total_seconds"] + 1e-9
+
+
+def test_bench_baseline_roundtrip(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "baseline.json"
+    assert bench_main(["figure5", "--sf", "0.004",
+                       "--write-baseline", str(path)]) == 0
+    record = json.loads(path.read_text())
+    assert record["schema"] == "repro-baseline-v1"
+    assert record["figure"] == "figure5"
+    # a clean re-run is within tolerance (deterministic, so identical)
+    assert bench_main(["--check-baseline", str(path)]) == 0
+    assert "baseline check passed" in capsys.readouterr().out
+    # shrink the committed numbers ~5%: the fresh run now regresses
+    for series in record["series"].values():
+        for query in series:
+            series[query] *= 0.95
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(record))
+    assert bench_main(["--check-baseline", str(tampered)]) == 1
+    assert "BASELINE CHECK FAILED" in capsys.readouterr().out
+
+
+def test_bench_check_baseline_conflicting_flags(tmp_path):
+    import json
+
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "schema": "repro-baseline-v1", "figure": "figure5",
+        "scale_factor": 0.004, "workers": 1,
+        "series": {"RS": {"Q1.1": 1.0}},
+    }))
+    with pytest.raises(SystemExit):
+        bench_main(["figure7", "--check-baseline", str(path)])
+    with pytest.raises(SystemExit):
+        bench_main(["--sf", "0.05", "--check-baseline", str(path)])
+
+
+def test_bench_check_baseline_bad_artifact(tmp_path):
+    from repro.errors import BenchmarkError
+
+    path = tmp_path / "bad.json"
+    path.write_text("{\"schema\": \"something-else\"}")
+    with pytest.raises(BenchmarkError):
+        bench_main(["--check-baseline", str(path)])
+
+
+def test_bench_write_baseline_needs_figure_target():
+    with pytest.raises(SystemExit):
+        bench_main(["storage", "--sf", "0.004",
+                    "--write-baseline", "/tmp/x.json"])
+
+
 def test_validate_cli(capsys):
     assert validate_main(["--sf", "0.004"]) == 0
     out = capsys.readouterr().out

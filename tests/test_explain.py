@@ -40,6 +40,30 @@ def test_column_explain_early_materialization(cstore):
     assert "row-wise filter" in text
 
 
+def test_column_explain_span_tree(cstore):
+    text = cstore.explain(query_by_name("Q3.1"))
+    assert "span tree (simulated seconds)" in text
+    assert "phase1:dimension-filter" in text
+    assert "phase2:fact-scan" in text
+    assert "aggregate" in text
+
+
+def test_column_explain_buffer_pool_wording(cstore):
+    """Requests vs. misses: the total is page *requests*; only misses
+    were read from disk."""
+    text = cstore.explain(query_by_name("Q3.1"))
+    pool_line = next(l for l in text.splitlines() if "buffer pool" in l)
+    assert "page request(s)" in pool_line
+    assert "miss(es) read from disk" in pool_line
+    assert "hit rate" in pool_line
+    # the old wording mislabelled total requests as reads
+    assert "page read(s)" not in pool_line
+    requests = int(pool_line.split("buffer pool:")[1].split()[0])
+    misses = int(pool_line.split("request(s),")[1].split()[0])
+    hits = int(pool_line.split("disk,")[1].split()[0])
+    assert requests == misses + hits
+
+
 def test_column_explain_does_not_perturb_ledger(cstore):
     q = query_by_name("Q3.2")
     before = cstore.execute(q).stats.snapshot()
@@ -75,6 +99,24 @@ def test_row_explain_selectivities(system_x):
     text = system_x.explain(query_by_name("Q3.1"), DesignKind.TRADITIONAL)
     assert "20.00% of keys" in text
     assert "carry [nation]" in text
+
+
+def test_row_explain_analyze_appends_span_tree(system_x):
+    q = query_by_name("Q2.1")
+    plain = system_x.explain(q, DesignKind.TRADITIONAL)
+    assert "span tree" not in plain
+    analyzed = system_x.explain(q, DesignKind.TRADITIONAL, analyze=True)
+    assert "span tree (simulated seconds)" in analyzed
+    assert "dimension-filter" in analyzed
+    assert "pipeline:scan-join-aggregate" in analyzed
+
+
+def test_row_explain_analyze_does_not_perturb_ledger(system_x):
+    q = query_by_name("Q2.1")
+    before = system_x.execute(q, DesignKind.TRADITIONAL).stats.snapshot()
+    system_x.explain(q, DesignKind.TRADITIONAL, analyze=True)
+    after = system_x.execute(q, DesignKind.TRADITIONAL).stats.snapshot()
+    assert before == after
 
 
 def test_row_explain_unbuilt_design(ssb_data):

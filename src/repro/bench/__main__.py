@@ -85,6 +85,26 @@ def main(argv=None) -> int:
                         help="write one JSON-lines trace record (per-phase "
                              "span tree, simulated seconds) per measured "
                              "query; schema in docs/observability.md")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the closed-loop serving benchmark "
+                             "instead of a figure: N clients replay "
+                             "shuffled SSBM flights through the query "
+                             "service and its semantic cache")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="closed-loop clients for --serve (default 8)")
+    parser.add_argument("--serve-engine", default="cs",
+                        choices=["cs", "rs", "both"],
+                        help="engine(s) the serving clients target "
+                             "(default cs; 'both' alternates per client)")
+    parser.add_argument("--serve-flights", type=int, default=2,
+                        help="SSBM replays per client for --serve "
+                             "(default 2 — the second flight exercises "
+                             "the cache)")
+    parser.add_argument("--serve-concurrency", type=int, default=8,
+                        help="service admission limit for --serve "
+                             "(default 8)")
+    parser.add_argument("--no-serve-cache", action="store_true",
+                        help="disable the semantic cache for --serve")
     parser.add_argument("--write-baseline", default=None, metavar="PATH",
                         help="after a single-figure run, freeze the grid "
                              "as a repro-baseline-v1 artifact")
@@ -98,8 +118,11 @@ def main(argv=None) -> int:
 
     if args.check_baseline:
         return _run_check_baseline(parser, args)
+    if args.serve:
+        return _run_serve(parser, args)
     if args.target is None:
-        parser.error("a target is required unless --check-baseline is given")
+        parser.error("a target is required unless --check-baseline "
+                     "or --serve is given")
     if args.write_baseline and args.target not in _FIGURES:
         parser.error("--write-baseline needs a single figure target, "
                      f"got {args.target!r}")
@@ -181,6 +204,32 @@ def main(argv=None) -> int:
         if trace_file is not None:
             trace_file.close()
             print(f"wrote traces to {args.trace_json}")
+    return 0
+
+
+def _run_serve(parser: argparse.ArgumentParser, args) -> int:
+    from .serve_bench import render_serve, run_serve_bench, \
+        write_serve_artifact
+
+    if args.target is not None:
+        parser.error(f"--serve takes no figure target, got {args.target!r}")
+    harness = Harness(scale_factor=args.sf,
+                      fault_profile=args.fault_profile,
+                      fault_seed=args.fault_seed)
+    print(f"scale factor {harness.scale_factor} "
+          f"({int(6_000_000 * harness.scale_factor)} fact rows), "
+          f"seed {harness.seed}")
+    started = time.time()
+    record = run_serve_bench(
+        harness, clients=args.clients, flights=args.serve_flights,
+        engine=args.serve_engine, concurrency=args.serve_concurrency,
+        cache=not args.no_serve_cache)
+    print()
+    print(render_serve(record))
+    if args.out:
+        write_serve_artifact(args.out, record)
+        print(f"\nwrote {args.out}")
+    print(f"\n[serve benchmark in {time.time() - started:.1f}s wall clock]")
     return 0
 
 

@@ -114,6 +114,7 @@ _CPU_TERMS = [
     ("agg_updates", "agg_update_seconds"),
     ("sort_compares", "sort_compare_seconds"),
     ("dict_lookups", "dict_lookup_seconds"),
+    ("cache_lookups", "cache_lookup_seconds"),
 ]
 
 

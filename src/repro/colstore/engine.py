@@ -52,6 +52,11 @@ class ColumnStoreRun:
     cost: CostBreakdown
     #: per-phase span tree; verified to sum exactly to ``stats``
     trace: Optional[Trace] = None
+    #: surviving fact positions (late-materialization plans only) and
+    #: the fact projection they index into — consumed by the service
+    #: layer's semantic cache; ``None`` for early-materialization plans
+    survivors: Optional[object] = None
+    projection_name: Optional[str] = None
 
     @property
     def seconds(self) -> float:
@@ -229,8 +234,10 @@ class CStore:
             stats.recoveries += recoveries
             # the span tree is verified to sum exactly to the flat ledger
             trace = tracer.finish(stats)
-            return ColumnStoreRun(result, stats, self.cost_model.cost(stats),
-                                  trace=trace)
+            return ColumnStoreRun(
+                result, stats, self.cost_model.cost(stats), trace=trace,
+                survivors=getattr(planner, "last_positions", None),
+                projection_name=getattr(planner, "last_projection", None))
 
     def _plan_recovery(self, error: ChecksumError, forbidden: set,
                        recoveries: int) -> Tuple[set, int]:

@@ -271,6 +271,10 @@ class ColumnPlanner:
         # kept for EXPLAIN: the join's run-time decisions
         self.last_join = join
         self.last_survivors = survivors.count
+        # kept for the service layer's semantic cache: the surviving
+        # fact positions and the projection they index into
+        self.last_positions = survivors
+        self.last_projection = fact_proj.name
 
         from ..plan.logical import expr_columns
 

@@ -121,6 +121,19 @@ class BenchmarkError(ReproError):
     """The benchmark harness was misconfigured or a run failed."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class AdmissionError(ServiceError):
+    """A query was refused admission: the queue is full, the queue wait
+    timed out, or the service is draining/closed.  The query never ran."""
+
+
+class DeadlineError(ServiceError):
+    """A query's deadline expired before the service could start it."""
+
+
 class TraceInvariantError(ReproError):
     """A query's span tree does not sum to its flat ledger.
 

@@ -190,6 +190,19 @@ class Tracer:
     def _attach(self, span: Span) -> None:
         self._stack[-1][2].append(span)
 
+    def attach_span(self, span: Span) -> None:
+        """Adopt an already-finished span (tree) as a child of the
+        currently open span.
+
+        Used by the service layer: an engine execution builds and
+        verifies its own trace against its own ledger; the service then
+        merges that ledger into the session ledger and nests the
+        engine's root span under the service span that was open around
+        the call, so the combined tree still sums exactly to the
+        combined flat ledger.
+        """
+        self._attach(span)
+
     def finish(self, flat: QueryStats) -> Trace:
         """Close the root span, verify against ``flat``, and return the
         trace.  Idempotent: later calls return the same trace."""

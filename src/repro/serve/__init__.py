@@ -1,0 +1,36 @@
+"""Concurrent query serving: sessions, admission control, semantic cache.
+
+The ROADMAP's target workload is many clients replaying overlapping SSBM
+flights.  This package puts a service in front of both engines:
+
+* :class:`~repro.serve.service.QueryService` — owns the engines, admits a
+  bounded number of in-flight queries (FIFO queue, per-query deadlines),
+  and drains gracefully;
+* :class:`~repro.serve.session.Session` — one logical client's engine
+  choice, execution config, and running tallies;
+* :class:`~repro.serve.semcache.SemanticCache` — normalizes each query's
+  predicates and caches result tables plus surviving fact-position sets,
+  serving exact hits verbatim and *subsumed* hits (a cached predicate
+  implies the requested one) by re-filtering cached positions instead of
+  rescanning;
+* :class:`~repro.serve.sharing.ScanSharing` — batches queries aimed at
+  the same projection into one scan per admission wave.
+
+See ``docs/serving.md`` for the admission, keying, and subsumption rules.
+"""
+
+from ..errors import AdmissionError, DeadlineError, ServiceError
+from .semcache import SemanticCache
+from .service import QueryService, ServiceConfig, ServiceRun
+from .session import Session
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "ServiceRun",
+    "Session",
+    "SemanticCache",
+    "ServiceError",
+    "AdmissionError",
+    "DeadlineError",
+]

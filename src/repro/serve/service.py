@@ -1,0 +1,542 @@
+"""The query service: admission control, dispatch, semantic caching.
+
+:class:`QueryService` fronts one :class:`~repro.colstore.engine.CStore`
+and/or one :class:`~repro.rowstore.engine.SystemX`.  Clients hold
+:class:`~repro.serve.session.Session` handles and submit
+:class:`~repro.plan.logical.StarQuery` objects; the service
+
+1. **admits** — a bounded number of queries run at once; the rest wait
+   in a FIFO queue with an optional queue timeout and per-query
+   deadline, failing fast with typed
+   :class:`~repro.errors.AdmissionError` / ``DeadlineError``;
+2. **looks up** — the semantic cache first (exact result hits, then
+   subsumed position entries re-filtered into fresh results);
+3. **executes** — on a miss, under the target engine's lock, optionally
+   batching same-projection queries into one shared-scan wave;
+4. **accounts** — every step runs under the requesting query's own
+   :class:`~repro.simio.stats.QueryStats` ledger and span tracer
+   (``admission-wait``, ``cache-lookup``, ``cache-refilter``,
+   ``cache-admit``, ``shared-scan``), and the finished trace is verified
+   to sum exactly to the flat ledger.  With the cache disabled, a
+   service run's ledger is byte-identical to a direct engine call.
+
+``drain()`` stops admitting and waits for in-flight queries to finish;
+the service is also a context manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AdmissionError, DeadlineError, PlanError, ReproError
+from ..obs import Trace, Tracer
+from ..plan.logical import StarQuery
+from ..result import ResultSet
+from ..simio.stats import CostBreakdown, CostModel, PAPER_2008, QueryStats
+from .adapters import ColumnStoreAdapter, RowStoreAdapter
+from .semcache import SemanticCache, normalize_query
+from .session import Session
+from .sharing import ScanSharing
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one :class:`QueryService`."""
+
+    max_in_flight: int = 4          #: queries allowed past admission at once
+    queue_limit: int = 64           #: waiters beyond which admission refuses
+    queue_timeout: Optional[float] = 30.0  #: default max queue wait (wall s)
+    cache: bool = True              #: semantic cache on/off
+    cache_budget_bytes: int = 64 << 20
+    cache_admit_seconds: float = 1e-3  #: cost-aware admission threshold
+    shared_scans: bool = False      #: batch same-projection queries per wave
+    wave_limit: int = 8             #: max queries served per shared wave
+
+
+@dataclass
+class ServiceRun:
+    """Outcome of one query served by the service.
+
+    ``stats``/``cost``/``trace`` cover everything done on the query's
+    behalf — admission bookkeeping, cache probes, re-filtering, and (on
+    a miss) the engine execution itself."""
+
+    query_name: str
+    session_name: str
+    engine: str
+    source: str                     #: "engine" | "cache-exact" | "cache-refilter"
+    result: ResultSet
+    stats: QueryStats
+    cost: CostBreakdown
+    trace: Trace
+    wall_seconds: float
+    shared: bool = False            #: served as part of a shared-scan wave
+
+    @property
+    def seconds(self) -> float:
+        """Priced simulated seconds."""
+        return self.cost.total_seconds
+
+
+class AdmissionController:
+    """Bounded FIFO admission with queue timeout and deadlines."""
+
+    def __init__(self, max_in_flight: int, queue_limit: int,
+                 queue_timeout: Optional[float]) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self._waiters: List[object] = []
+        self._in_flight = 0
+        self._draining = False
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return len(self._waiters)
+
+    def acquire(self, timeout: Optional[float] = None,
+                deadline_at: Optional[float] = None) -> None:
+        """Block until admitted (FIFO).  Raises :class:`AdmissionError`
+        when the queue is full, the wait exceeds ``timeout``, or the
+        service is draining; :class:`DeadlineError` when ``deadline_at``
+        (a ``time.monotonic`` instant) passes first."""
+        if timeout is None:
+            timeout = self.queue_timeout
+        token = object()
+        with self._cond:
+            if self._draining:
+                raise AdmissionError(
+                    "service is draining; not accepting new queries")
+            # the limit bounds *waiting* requests; one that can start
+            # immediately only passes through the list, it never queues
+            would_wait = bool(self._waiters) \
+                or self._in_flight >= self.max_in_flight
+            if would_wait and len(self._waiters) >= self.queue_limit:
+                raise AdmissionError(
+                    f"admission queue is full "
+                    f"({self.queue_limit} queries already waiting)")
+            self._waiters.append(token)
+            started = time.monotonic()
+            try:
+                while True:
+                    if self._draining:
+                        raise AdmissionError(
+                            "service is draining; not accepting new queries")
+                    now = time.monotonic()
+                    if deadline_at is not None and now >= deadline_at:
+                        raise DeadlineError(
+                            f"deadline expired after {now - started:.3f}s "
+                            f"in the admission queue")
+                    if self._waiters[0] is token \
+                            and self._in_flight < self.max_in_flight:
+                        self._in_flight += 1
+                        return
+                    waits = []
+                    if timeout is not None:
+                        remaining = started + timeout - now
+                        if remaining <= 0:
+                            raise AdmissionError(
+                                f"queue timeout: not admitted within "
+                                f"{timeout:g}s "
+                                f"({len(self._waiters)} waiting, "
+                                f"{self._in_flight} in flight)")
+                        waits.append(remaining)
+                    if deadline_at is not None:
+                        waits.append(deadline_at - now)
+                    self._cond.wait(min(waits) if waits else None)
+            finally:
+                self._waiters.remove(token)
+                self._cond.notify_all()
+
+    def release(self) -> None:
+        with self._cond:
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    def drain(self) -> None:
+        """Refuse new queries and wait for in-flight ones to finish."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+            while self._in_flight > 0 or self._waiters:
+                self._cond.wait()
+
+    def resume(self) -> None:
+        with self._cond:
+            self._draining = False
+            self._cond.notify_all()
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide tallies (thread-safe via :meth:`note`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    deadline_misses: int = 0
+    engine_runs: int = 0
+    exact_hits: int = 0
+    subsumption_hits: int = 0
+    shared_waves: int = 0
+    shared_followers: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def note(self, **deltas) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "deadline_misses": self.deadline_misses,
+                "engine_runs": self.engine_runs,
+                "exact_hits": self.exact_hits,
+                "subsumption_hits": self.subsumption_hits,
+                "shared_waves": self.shared_waves,
+                "shared_followers": self.shared_followers,
+                "simulated_seconds": self.simulated_seconds,
+                "wall_seconds": self.wall_seconds,
+            }
+
+
+class _Request:
+    """One in-flight submission's mutable state."""
+
+    def __init__(self, query: StarQuery, session: Session, use_cache: bool,
+                 stats: QueryStats, tracer: Tracer,
+                 deadline_at: Optional[float]) -> None:
+        self.query = query
+        self.session = session
+        self.use_cache = use_cache
+        self.stats = stats
+        self.tracer = tracer
+        self.deadline_at = deadline_at
+        self.done = False
+        self.run: Optional[ServiceRun] = None
+        self.error: Optional[BaseException] = None
+        self.shared = False
+        self.started = time.perf_counter()
+
+
+class QueryService:
+    """A concurrent query service over one or both engines."""
+
+    def __init__(
+        self,
+        cstore=None,
+        system_x=None,
+        config: Optional[ServiceConfig] = None,
+        cost_model: CostModel = PAPER_2008,
+    ) -> None:
+        if cstore is None and system_x is None:
+            raise ValueError("QueryService needs at least one engine")
+        self.config = config if config is not None else ServiceConfig()
+        self.cost_model = cost_model
+        self._adapters: Dict[str, object] = {}
+        self._engine_locks: Dict[str, threading.Lock] = {}
+        if cstore is not None:
+            self._adapters["cs"] = ColumnStoreAdapter(cstore)
+            self._engine_locks["cs"] = threading.Lock()
+        if system_x is not None:
+            self._adapters["rs"] = RowStoreAdapter(system_x)
+            self._engine_locks["rs"] = threading.Lock()
+        self.cache = SemanticCache(
+            budget_bytes=self.config.cache_budget_bytes,
+            admit_seconds=self.config.cache_admit_seconds)
+        self.admission = AdmissionController(
+            self.config.max_in_flight, self.config.queue_limit,
+            self.config.queue_timeout)
+        self.sharing = ScanSharing()
+        self.stats = ServiceStats()
+        self.sessions: Dict[str, Session] = {}
+        self._session_seq = 0
+        self._session_lock = threading.Lock()
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # sessions
+    # -------------------------------------------------------------- #
+    def session(self, name: Optional[str] = None, engine: Optional[str] = None,
+                **kwargs) -> Session:
+        """Open a logical client session (see :class:`Session`)."""
+        if engine is None:
+            engine = "cs" if "cs" in self._adapters else "rs"
+        if engine not in self._adapters:
+            raise PlanError(
+                f"engine {engine!r} is not attached to this service")
+        with self._session_lock:
+            if name is None:
+                self._session_seq += 1
+                name = f"s{self._session_seq}"
+            session = Session(self, name, engine=engine, **kwargs)
+            self.sessions[name] = session
+            return session
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+    def drain(self) -> None:
+        """Stop admitting and wait for in-flight queries to finish."""
+        self.admission.drain()
+
+    def close(self) -> None:
+        self._closed = True
+        self.drain()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Invalidate cached entries (all, or those touching ``table``)."""
+        return self.cache.invalidate(table)
+
+    def serve_stats(self) -> Dict:
+        """One dict for dashboards: service, cache, admission, sessions."""
+        return {
+            "service": self.stats.snapshot(),
+            "cache": self.cache.snapshot(),
+            "admission": {
+                "max_in_flight": self.admission.max_in_flight,
+                "queue_limit": self.admission.queue_limit,
+                "in_flight": self.admission.in_flight,
+                "queued": self.admission.queued,
+            },
+            "sessions": {
+                name: vars(s.stats).copy()
+                for name, s in sorted(self.sessions.items())
+            },
+        }
+
+    # -------------------------------------------------------------- #
+    # submission
+    # -------------------------------------------------------------- #
+    def submit(self, query: StarQuery, session: Optional[Session] = None,
+               cached: Optional[bool] = None,
+               timeout: Optional[float] = None,
+               deadline: Optional[float] = None) -> ServiceRun:
+        """Serve one query for ``session`` (blocking).
+
+        ``cached=False`` bypasses the cache for this call (the honest-
+        accounting escape hatch); ``timeout`` caps the admission-queue
+        wait; ``deadline`` caps total wall time before execution starts.
+        """
+        if self._closed:
+            raise AdmissionError("service is closed")
+        if session is None:
+            session = self.session()
+        adapter = self._adapters.get(session.engine)
+        if adapter is None:
+            raise PlanError(
+                f"engine {session.engine!r} is not attached to this service")
+        use_cache = self.config.cache and session.cached \
+            if cached is None else bool(cached) and self.config.cache
+        session.note_submitted()
+        self.stats.note(submitted=1)
+
+        stats = QueryStats()
+        tracer = Tracer(stats, self.cost_model, root_name="service")
+        deadline_at = None if deadline is None \
+            else time.monotonic() + deadline
+        request = _Request(query, session, use_cache, stats, tracer,
+                           deadline_at)
+        try:
+            with tracer.span("admission-wait"):
+                self.admission.acquire(timeout=timeout,
+                                       deadline_at=deadline_at)
+        except DeadlineError:
+            self.stats.note(rejected=1, deadline_misses=1)
+            session.note_error()
+            raise
+        except AdmissionError:
+            self.stats.note(rejected=1)
+            session.note_error()
+            raise
+
+        share_key = None
+        try:
+            if self.config.shared_scans:
+                share_key = adapter.share_key(query, session)
+                self.sharing.enqueue(share_key, request)
+            with self._engine_locks[session.engine]:
+                if not request.done:
+                    if share_key is not None:
+                        wave = self.sharing.take(share_key, request,
+                                                 self.config.wave_limit)
+                    else:
+                        wave = [request]
+                    self._serve_wave(adapter, wave)
+        finally:
+            if share_key is not None:
+                self.sharing.discard(request)
+            self.admission.release()
+
+        if request.error is not None:
+            self.stats.note(failed=1, deadline_misses=int(
+                isinstance(request.error, DeadlineError)))
+            session.note_error()
+            raise request.error
+        run = request.run
+        self.stats.note(completed=1, simulated_seconds=run.seconds,
+                        wall_seconds=run.wall_seconds,
+                        **{{"engine": "engine_runs",
+                            "cache-exact": "exact_hits",
+                            "cache-refilter": "subsumption_hits",
+                            }[run.source]: 1})
+        session.note_result(run.source, run.seconds, run.wall_seconds)
+        return run
+
+    # -------------------------------------------------------------- #
+    # the serving path (engine lock held)
+    # -------------------------------------------------------------- #
+    def _serve_wave(self, adapter, wave: List[_Request]) -> None:
+        shared = len(wave) > 1
+        if shared:
+            self.stats.note(shared_waves=1, shared_followers=len(wave) - 1)
+        for i, request in enumerate(wave):
+            try:
+                now = time.monotonic()
+                if request.deadline_at is not None \
+                        and now >= request.deadline_at:
+                    raise DeadlineError(
+                        "deadline expired before execution started")
+                self._serve_one(adapter, request, shared=shared,
+                                warm=shared and i > 0)
+            except BaseException as error:  # noqa: BLE001 — relayed to waiter
+                request.error = error
+            finally:
+                request.done = True
+
+    def _serve_one(self, adapter, request: _Request, shared: bool,
+                   warm: bool) -> None:
+        query, session = request.query, request.session
+        stats, tracer = request.stats, request.tracer
+        engine = adapter.engine
+        dim_cache: Dict = {}
+        entry = None
+        scope = None
+        if request.use_cache:
+            scope = adapter.scope(session)
+            with tracer.span("cache-lookup"):
+                stats.cache_lookups += 1
+                result = self.cache.lookup_result(scope, query)
+                if result is not None:
+                    stats.cache_exact_hits += 1
+                else:
+                    # key-set probes read dimension columns: charge them
+                    # to this query's ledger
+                    saved = engine.disk.stats
+                    engine.disk.stats = stats
+                    try:
+                        entry = self.cache.find_subsuming(
+                            scope, normalize_query(query),
+                            lambda dim: adapter.dim_key_set(
+                                query, session, dim, dim_cache),
+                            dimensions=frozenset(query.joins.values()))
+                    finally:
+                        engine.disk.stats = saved
+                    if entry is None:
+                        stats.cache_misses += 1
+            if result is not None:
+                request.run = self._finish(request, result, "cache-exact",
+                                           shared)
+                return
+            if entry is not None:
+                saved = engine.disk.stats
+                engine.disk.stats = stats
+                try:
+                    with tracer.span("cache-refilter"):
+                        result = adapter.refilter(query, session, entry,
+                                                  dim_cache)
+                    stats.cache_subsumption_hits += 1
+                    request.run = self._finish(request, result,
+                                               "cache-refilter", shared)
+                    return
+                except ReproError:
+                    # a re-filter that cannot complete (e.g. the cached
+                    # projection went bad) falls back to a full run
+                    self.cache.discard(entry.key)
+                    stats.cache_misses += 1
+                finally:
+                    engine.disk.stats = saved
+
+        # miss (or cache off): run the engine, under a shared-scan span
+        # when this execution is part of a wave
+        span = tracer.span("shared-scan") if shared else nullcontext()
+        with span:
+            if request.use_cache and adapter.recordable(session):
+                run, payload, key_sets = adapter.execute_recording(
+                    query, session, warm=warm)
+            else:
+                run, payload, key_sets = \
+                    adapter.execute(query, session, warm=warm), None, None
+            stats.merge(run.stats)
+            tracer.attach_span(run.trace.root)
+
+        if request.use_cache and self.cache.worth_admitting(run.seconds):
+            with tracer.span("cache-admit"):
+                self.cache.admit_result(scope, query, run.result,
+                                        run.seconds, _tables_of(query))
+                if payload is not None:
+                    if key_sets is None:
+                        saved = engine.disk.stats
+                        engine.disk.stats = stats
+                        try:
+                            key_sets = adapter.key_sets(query, session,
+                                                        dim_cache)
+                        finally:
+                            engine.disk.stats = saved
+                    self.cache.admit_positions(
+                        scope, normalize_query(query), payload, key_sets,
+                        run.seconds, payload.nbytes)
+        request.run = self._finish(request, run.result, "engine", shared)
+
+    def _finish(self, request: _Request, result: ResultSet, source: str,
+                shared: bool) -> ServiceRun:
+        trace = request.tracer.finish(request.stats)
+        return ServiceRun(
+            query_name=request.query.name,
+            session_name=request.session.name,
+            engine=request.session.engine,
+            source=source,
+            result=result,
+            stats=request.stats,
+            cost=self.cost_model.cost(request.stats),
+            trace=trace,
+            wall_seconds=time.perf_counter() - request.started,
+            shared=shared,
+        )
+
+
+def _tables_of(query: StarQuery) -> frozenset:
+    return frozenset({query.fact_table} | set(query.joins.values()))
+
+
+__all__ = ["QueryService", "ServiceConfig", "ServiceRun", "ServiceStats",
+           "AdmissionController"]

@@ -1,0 +1,63 @@
+"""Shared scans: batch same-projection queries into one wave.
+
+Queries waiting on the engine that target the same stored object (the
+same fact projection for the column store, the same design's fact heap
+for the row store) are grouped into *bands*.  Whichever request reaches
+the engine first becomes the wave leader: it takes every banded request
+(up to a wave limit) and serves them back to back — the leader on a cold
+buffer pool, followers on the pool the leader just warmed, so the fact
+scan's pages are read from disk once per wave instead of once per query.
+
+Results are unaffected (pool warmth only changes *where* reads are
+served from); each follower's ledger honestly shows the buffer hits it
+got for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+
+class ScanSharing:
+    """A thread-safe registry of requests banded by scan target."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bands: Dict[Tuple, List[object]] = {}
+
+    def enqueue(self, key: Tuple, request: object) -> None:
+        """Register ``request`` under its scan band."""
+        with self._lock:
+            self._bands.setdefault(key, []).append(request)
+
+    def take(self, key: Tuple, leader: object, limit: int) -> List[object]:
+        """Claim a wave: ``leader`` plus up to ``limit - 1`` banded
+        requests, removed from the registry.  The leader is removed even
+        if another wave already served it."""
+        with self._lock:
+            band = self._bands.get(key, [])
+            if leader in band:
+                band.remove(leader)
+            wave = [leader] + band[: max(0, limit - 1)]
+            del band[: max(0, limit - 1)]
+            if not band:
+                self._bands.pop(key, None)
+            return wave
+
+    def discard(self, request: object) -> None:
+        """Drop a request that will not run (admission failure)."""
+        with self._lock:
+            for key, band in list(self._bands.items()):
+                if request in band:
+                    band.remove(request)
+                    if not band:
+                        self._bands.pop(key, None)
+                    return
+
+    def pending(self, key: Tuple) -> int:
+        with self._lock:
+            return len(self._bands.get(key, []))
+
+
+__all__ = ["ScanSharing"]

@@ -26,8 +26,9 @@ from .plan.logical import StarQuery
 from .reference import execute as reference_execute
 from .rowstore.designs import DesignKind
 from .rowstore.engine import SystemX
+from .serve import QueryService, ServiceConfig
 from .sql import parse_query
-from .ssb.generator import generate
+from .ssb.generator import SsbData, generate
 from .ssb.queries import ALL_QUERIES, query_by_name
 from .ssb.sql_text import SQL_TEXT
 
@@ -41,6 +42,8 @@ Enter SQL (SSB dialect), an SSB query name (Q1.1 .. Q4.3), or a command:
   \\config tICL..Ticl   column-store configuration (default: tICL)
   \\explain <query>     show both engines' plans for SQL or Qx.y
   \\verify on|off       cross-check results against the oracle
+  \\cache on|off|clear  semantic result cache (default: off)
+  \\serve stats         query service + cache counters
   \\quit                exit"""
 
 _DESIGNS = {d.value: d for d in DesignKind}
@@ -49,8 +52,9 @@ _DESIGNS = {d.value: d for d in DesignKind}
 class Shell:
     """Shell state + command dispatch (I/O-free; returns strings)."""
 
-    def __init__(self, scale_factor: float = 0.02) -> None:
-        self.data = generate(scale_factor)
+    def __init__(self, scale_factor: float = 0.02,
+                 data: Optional[SsbData] = None) -> None:
+        self.data = data if data is not None else generate(scale_factor)
         self.cstore = CStore(self.data)
         self.system_x = SystemX(self.data, designs=[DesignKind.TRADITIONAL])
         self.engine_mode = "both"
@@ -58,6 +62,16 @@ class Shell:
         self.config = ExecutionConfig.baseline()
         self.verify = True
         self.done = False
+        # every query goes through one long-lived service; the semantic
+        # cache starts OFF so repeated queries re-read storage (and
+        # re-trip injected faults) unless the user opts in with \cache on
+        self.service = QueryService(
+            cstore=self.cstore, system_x=self.system_x,
+            config=ServiceConfig(max_in_flight=2))
+        self._cs_session = self.service.session(
+            name="shell-cs", engine="cs", cached=False)
+        self._rs_session = self.service.session(
+            name="shell-rs", engine="rs", cached=False)
 
     # ------------------------------------------------------------------ #
     def handle(self, line: str) -> str:
@@ -132,7 +146,36 @@ class Shell:
             query = self._to_query(argument)
             return (self.cstore.explain(query, self.config) + "\n\n"
                     + self.system_x.explain(query, self.design))
+        if command == "\\cache":
+            if argument == "clear":
+                self.service.invalidate()
+                return "cache cleared"
+            if argument not in ("on", "off"):
+                return "error: \\cache takes on, off, or clear"
+            enabled = argument == "on"
+            self._cs_session.cached = enabled
+            self._rs_session.cached = enabled
+            return f"cache {argument}"
+        if command == "\\serve":
+            if argument != "stats":
+                return "error: \\serve takes stats"
+            return self._serve_stats()
         return f"error: unknown command {command!r} (try \\help)"
+
+    def _serve_stats(self) -> str:
+        stats = self.service.serve_stats()
+        lines: List[str] = []
+        for section in ("service", "cache", "admission"):
+            body = ", ".join(f"{key}={value}"
+                             for key, value in sorted(
+                                 stats[section].items())
+                             if not isinstance(value, dict))
+            lines.append(f"{section}: {body}")
+        for name, session in sorted(stats["sessions"].items()):
+            body = ", ".join(f"{key}={value}"
+                             for key, value in sorted(session.items()))
+            lines.append(f"session {name}: {body}")
+        return "\n".join(lines)
 
     def _run(self, query: StarQuery) -> str:
         lines: List[str] = []
@@ -140,7 +183,8 @@ class Shell:
                   if self.verify else None)
         shown = False
         if self.engine_mode in ("cs", "both"):
-            run = self.cstore.execute(query, self.config)
+            self._cs_session.config = self.config
+            run = self._cs_session.execute(query)
             if oracle is not None and not run.result.same_rows(oracle):
                 return "INTERNAL ERROR: column store deviates from oracle"
             lines.append(run.result.pretty(limit=15))
@@ -150,7 +194,8 @@ class Shell:
                 f"{run.seconds * 1000:8.2f} ms simulated "
                 f"({len(run.result)} rows)")
         if self.engine_mode in ("rs", "both"):
-            run = self.system_x.execute(query, self.design)
+            self._rs_session.design = self.design
+            run = self._rs_session.execute(query)
             if oracle is not None and not run.result.same_rows(oracle):
                 return "INTERNAL ERROR: row store deviates from oracle"
             if not shown:

@@ -83,6 +83,17 @@ class QueryStats:
     sort_compares: int = 0       #: comparisons charged to sorting (n log n)
     dict_lookups: int = 0        #: dictionary decode lookups for output
 
+    # --- serving / semantic cache (maintained by repro.serve; all zero
+    # on a direct engine call, so engine ledgers are unchanged by the
+    # existence of the service layer) ---
+    cache_lookups: int = 0       #: semantic-cache probes performed
+    cache_exact_hits: int = 0    #: results served verbatim from the cache
+    cache_subsumption_hits: int = 0  #: results rebuilt from a subsuming entry
+    cache_misses: int = 0        #: probes that fell through to the engine
+    cache_refiltered_positions: int = 0  #: cached positions re-examined on a
+    #: subsumption hit (bookkeeping, like ``recoveries``: the re-filter
+    #: work itself is charged to the ordinary counters above)
+
     def stripe_bytes(self) -> List[int]:
         """Per-disk bytes transferred, in stripe order."""
         return [self.stripe0_bytes, self.stripe1_bytes,
@@ -218,6 +229,9 @@ class CostModel:
     agg_update_seconds: float = 25e-9
     sort_compare_seconds: float = 50e-9
     dict_lookup_seconds: float = 10e-9
+    #: one semantic-cache probe: a key hash plus a handful of candidate
+    #: signature comparisons against an in-memory map
+    cache_lookup_seconds: float = 2e-6
 
     def io_seconds(self, stats: QueryStats) -> float:
         """Simulated I/O time: transfer at sequential bandwidth plus seeks
@@ -268,6 +282,7 @@ class CostModel:
             + s.agg_updates * self.agg_update_seconds
             + s.sort_compares * self.sort_compare_seconds
             + s.dict_lookups * self.dict_lookup_seconds
+            + s.cache_lookups * self.cache_lookup_seconds
         )
 
     def cost(self, stats: QueryStats) -> CostBreakdown:

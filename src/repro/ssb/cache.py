@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -42,6 +43,10 @@ class CacheHealth:
     A cached artifact that exists but cannot be decoded is **corruption**,
     not a miss — regeneration hides the broken file, so the event is
     counted here and warned about instead of being swallowed silently.
+
+    Counters mutate under a lock: the serving layer loads datasets from
+    concurrent client threads, and ``+=`` on a shared int is a lost
+    update waiting to happen.
     """
 
     hits: int = 0
@@ -49,12 +54,26 @@ class CacheHealth:
     corruption_events: int = 0
     last_corruption: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
     def record_corruption(self, path: Path, error: Exception) -> None:
-        self.corruption_events += 1
-        self.last_corruption = f"{path}: {type(error).__name__}: {error}"
+        with self._lock:
+            self.corruption_events += 1
+            self.last_corruption = \
+                f"{path}: {type(error).__name__}: {error}"
+            message = self.last_corruption
         warnings.warn(
             f"cached SSB artifact is corrupt and will be regenerated "
-            f"({self.last_corruption})",
+            f"({message})",
             RuntimeWarning,
             stacklevel=3,
         )
@@ -110,12 +129,12 @@ def load(scale_factor: float, seed: int, directory: Path
     npz_path = Path(str(stem) + ".npz")
     json_path = stem.parent / (stem.name + ".json")
     if not npz_path.exists() or not json_path.exists():
-        CACHE_HEALTH.misses += 1
+        CACHE_HEALTH.record_miss()
         return None
     try:
         meta = json.loads(json_path.read_text())
         if meta.get("version") != _FORMAT_VERSION:
-            CACHE_HEALTH.misses += 1  # stale format, a legitimate miss
+            CACHE_HEALTH.record_miss()  # stale format, a legitimate miss
             return None
         archive = np.load(npz_path)
         tables: Dict[str, Table] = {}
@@ -148,7 +167,7 @@ def load(scale_factor: float, seed: int, directory: Path
         # regeneration so callers keep working.
         CACHE_HEALTH.record_corruption(npz_path, error)
         return None
-    CACHE_HEALTH.hits += 1
+    CACHE_HEALTH.record_hit()
     return loaded
 
 

@@ -1,0 +1,120 @@
+"""The closed-loop serving benchmark and its repro-serve-v1 artifact."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.serve_bench import (
+    SERVE_SCHEMA,
+    load_serve_artifact,
+    percentile,
+    render_serve,
+    run_serve_bench,
+    write_serve_artifact,
+)
+from repro.errors import BenchmarkError
+
+
+# -------------------------------------------------------------------- #
+# percentile helper
+# -------------------------------------------------------------------- #
+def test_percentile_interpolates():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 4.0
+    assert percentile(data, 50) == 2.5
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(BenchmarkError):
+        percentile([], 50)
+    with pytest.raises(BenchmarkError):
+        percentile([1.0], 101)
+
+
+# -------------------------------------------------------------------- #
+# the benchmark itself (tiny scale, few clients)
+# -------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def record():
+    harness = Harness(scale_factor=0.004)
+    return run_serve_bench(harness, clients=4, flights=2, engine="cs",
+                           concurrency=4, cache=True)
+
+
+def test_artifact_shape_and_ordering(record):
+    assert record["schema"] == SERVE_SCHEMA
+    assert record["queries_served"] == 4 * 2 * 13
+    lat = record["latency_wall_ms"]
+    assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+    assert record["throughput_qps"] > 0
+    assert len(record["flights_detail"]) == 2
+
+
+def test_second_flight_is_cheaper_and_hits(record):
+    first, second = record["flights_detail"]
+    assert second["simulated_seconds"] < first["simulated_seconds"]
+    assert second["exact_hits"] >= 1
+    assert second["hit_rate"] >= first["hit_rate"]
+    # across 4 clients x 13 queries, the flight replays everything
+    assert first["queries"] == second["queries"] == 4 * 13
+
+
+def test_artifact_round_trip(record, tmp_path):
+    path = tmp_path / "serve.json"
+    write_serve_artifact(str(path), record)
+    loaded = load_serve_artifact(str(path))
+    assert loaded == json.loads(json.dumps(record))  # JSON-stable
+    assert loaded["schema"] == SERVE_SCHEMA
+
+
+def test_load_rejects_foreign_artifacts(tmp_path):
+    path = tmp_path / "not_serve.json"
+    path.write_text(json.dumps({"schema": "repro-baseline-v1"}))
+    with pytest.raises(BenchmarkError):
+        load_serve_artifact(str(path))
+    with pytest.raises(BenchmarkError):
+        load_serve_artifact(str(tmp_path / "absent.json"))
+
+
+def test_write_rejects_foreign_records(tmp_path):
+    with pytest.raises(BenchmarkError):
+        write_serve_artifact(str(tmp_path / "x.json"), {"schema": "nope"})
+
+
+def test_render_serve_mentions_the_essentials(record):
+    text = render_serve(record)
+    assert "hit rate" in text
+    assert "q/s" in text
+    assert "flight 1" in text
+
+
+def test_bench_cli_serve_mode(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "serve.json"
+    assert main(["--serve", "--clients", "2", "--serve-flights", "2",
+                 "--sf", "0.004", "--serve-concurrency", "2",
+                 "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "serving benchmark" in printed
+    loaded = load_serve_artifact(str(out))
+    assert loaded["clients"] == 2
+    assert loaded["queries_served"] == 2 * 2 * 13
+
+
+def test_bench_cli_rejects_serve_with_figure_target():
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["figure7", "--serve"])
+
+
+def test_run_serve_bench_validates_arguments():
+    harness = Harness(scale_factor=0.004)
+    with pytest.raises(BenchmarkError):
+        run_serve_bench(harness, clients=0)
+    with pytest.raises(BenchmarkError):
+        run_serve_bench(harness, engine="gpu")

@@ -6,8 +6,10 @@ from repro.shell import Shell
 
 
 @pytest.fixture(scope="module")
-def shell():
-    return Shell(scale_factor=0.005)
+def shell(ssb_data):
+    # reuse the session-scoped dataset instead of generating a second
+    # one per module — the shell only needs *a* database, not its own
+    return Shell(data=ssb_data)
 
 
 def test_empty_line(shell):
@@ -96,6 +98,30 @@ def test_error_line_is_structured(shell):
     assert "\n" not in out
     assert out.startswith("error: SqlParseError:") or \
         out.startswith("error: SqlBindError:")
+
+
+def test_cache_toggle_and_stats(shell):
+    assert "cache on" in shell.handle("\\cache on")
+    first = shell.handle("Q1.2")
+    second = shell.handle("Q1.2")
+    assert "0.00 ms simulated" in second or "ms simulated" in second
+    stats = shell.handle("\\serve stats")
+    assert "exact_hits=" in stats and "session shell-cs" in stats
+    assert "cache cleared" in shell.handle("\\cache clear")
+    assert "cache off" in shell.handle("\\cache off")
+    assert "error" in shell.handle("\\cache maybe")
+    assert "error" in shell.handle("\\serve nonsense")
+    assert first.splitlines()[:-2] == second.splitlines()[:-2]
+
+
+def test_cache_off_by_default(ssb_data):
+    fresh = Shell(data=ssb_data)
+    fresh.handle("\\engine cs")
+    fresh.handle("Q1.1")
+    fresh.handle("Q1.1")
+    stats = fresh.service.serve_stats()
+    assert stats["service"]["exact_hits"] == 0
+    assert stats["service"]["engine_runs"] == 2
 
 
 def test_query_against_quarantined_page(shell):

@@ -98,10 +98,15 @@ def main(argv=None) -> int:
 
     total_serial = sum(best["serial"].values())
     total_parallel = sum(best["parallel"].values())
+    cpu_count = os.cpu_count() or 1
+    # more workers than cores: threads time-slice one another, so the
+    # parallel column measures scheduling overhead, not speedup
+    degraded = args.workers > cpu_count
     report = {
         "scale_factor": args.sf,
         "workers": args.workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "degraded": degraded,
         "repeat": args.repeat,
         "queries": {
             name: {
@@ -133,6 +138,13 @@ def main(argv=None) -> int:
     print(f"{'total':8s} {total_serial:8.3f}s {total_parallel:8.3f}s "
           f"{report['total']['speedup']:7.2f}x  "
           f"(host has {report['cpu_count']} CPU(s))")
+    if degraded:
+        print("=" * 64)
+        print(f"WARNING: {args.workers} workers on a {cpu_count}-CPU "
+              f"host — the parallel numbers measure thread overhead, "
+              f"not speedup.  Artifact stamped \"degraded\": true; do "
+              f"not cite its speedups.")
+        print("=" * 64)
     print(f"wrote {args.out}")
     return 0
 

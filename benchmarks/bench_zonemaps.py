@@ -1,0 +1,235 @@
+"""Zone-map ablation: block skipping vs full scans on both axes.
+
+Two experiments, one artifact (``BENCH_zonemaps.json``):
+
+* **SSB flight 1** (the selective flight filters) on the column store,
+  compression on (``tICL``) and off (``tIcL``), zone maps off vs on.
+  Pruning must never change a result; with compression off the Q1.x
+  scans read strictly fewer pages, and with compression on the columns
+  are already so dense that min/max rarely excludes a block — both
+  outcomes are recorded honestly.
+* **Selectivity sweep** over raw column scans: range predicates covering
+  1 %–100 % of the domain against the projection's sorted primary key
+  (``orderdate``) and an unsorted uniform column (``custkey``), at
+  ``CompressionLevel.NONE`` and ``MAX``.  Sorted columns skip in
+  proportion to selectivity; unsorted uniform columns skip nothing
+  (every block spans the full domain) — the textbook zone-map picture.
+
+``--check`` runs the SSB half at a tiny scale factor and exits nonzero
+if zone maps ever read *more* pages than the full scan, if the expected
+strict wins (Q1.x, compression off) fail to materialize, or if any row
+or non-skip ledger field drifts.  CI calls this via
+``benchmarks/smoke_baseline.sh``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_zonemaps.py [--sf 0.05] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_zonemaps.py --check [--sf 0.004]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+from repro.bench.harness import Harness
+from repro.colstore.operators.scan import predicate_positions
+from repro.core.config import ExecutionConfig
+from repro.simio.stats import QueryStats
+from repro.ssb.queries import ALL_QUERIES
+from repro.storage.colfile import CompressionLevel
+
+#: column-store configs measured in the SSB half: compression on / off
+#: (late materialization + invisible join in both, the C-Store defaults)
+CONFIGS = ("tICL", "tIcL")
+
+#: queries whose flight-level filters are selective enough that pruning
+#: must win strictly when compression is off (acceptance criterion)
+STRICT_QUERIES = ("Q1.1", "Q1.2", "Q1.3")
+STRICT_CONFIG = "tIcL"
+
+#: fraction of the column's domain covered by each sweep predicate
+SWEEP_FRACTIONS = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+def _run_pair(store, query, label):
+    """(off-run, on-run) for one query/config, on fresh ledgers."""
+    off = store.execute(query, ExecutionConfig.from_label(label))
+    on = store.execute(
+        query,
+        dataclasses.replace(ExecutionConfig.from_label(label),
+                            zone_maps=True))
+    return off, on
+
+
+def _ledger_mod_skips(stats: QueryStats) -> dict:
+    """The flat ledger with the two skip counters masked out."""
+    flat = dataclasses.asdict(stats)
+    flat.pop("synopsis_probes", None)
+    flat.pop("blocks_skipped", None)
+    return flat
+
+
+def run_ssb(harness: Harness) -> list:
+    store = harness.cstore()
+    cells = []
+    flight1 = [q for q in ALL_QUERIES if q.name.startswith("Q1.")]
+    for label in CONFIGS:
+        for query in flight1:
+            off, on = _run_pair(store, query, label)
+            if not off.result.same_rows(on.result):
+                raise SystemExit(
+                    f"zone maps changed the result of {query.name} "
+                    f"[{label}] — pruning is wrong, not a perf issue")
+            cells.append({
+                "query": query.name,
+                "config": label,
+                "pages_read_off": off.stats.pages_read,
+                "pages_read_on": on.stats.pages_read,
+                "striped_io_seconds_off": off.cost.io_elapsed_seconds,
+                "striped_io_seconds_on": on.cost.io_elapsed_seconds,
+                "seconds_off": off.seconds,
+                "seconds_on": on.seconds,
+                "synopsis_probes": on.stats.synopsis_probes,
+                "blocks_skipped": on.stats.blocks_skipped,
+                "ledger_identical_mod_skips":
+                    _ledger_mod_skips(off.stats) == _ledger_mod_skips(
+                        on.stats),
+            })
+    return cells
+
+
+def run_sweep(harness: Harness) -> list:
+    """Raw predicate scans: selectivity x sorted/unsorted x compression."""
+    store = harness.cstore()
+    lineorder = harness.data.tables["lineorder"]
+    domains = {
+        name: (int(lineorder.column(name).data.min()),
+               int(lineorder.column(name).data.max()))
+        for name in ("orderdate", "custkey")
+    }
+    cells = []
+    for level in (CompressionLevel.NONE, CompressionLevel.MAX):
+        proj = store.projection("lineorder", level)
+        config = ExecutionConfig(compression=level is not
+                                 CompressionLevel.NONE)
+        for column, sortedness in (("orderdate", "sorted"),
+                                   ("custkey", "unsorted")):
+            colfile = proj.column_file(column)
+            lo, hi = domains[column]
+            for fraction in SWEEP_FRACTIONS:
+                upper = lo + max(0, int((hi - lo) * fraction))
+                results = {}
+                for zone_maps in (False, True):
+                    stats = QueryStats()
+                    store.disk.stats = stats
+                    store.pool.clear()
+                    positions = predicate_positions(
+                        colfile, store.pool, (lo, upper),
+                        dataclasses.replace(config, zone_maps=zone_maps))
+                    results[zone_maps] = (stats, positions.count)
+                if results[False][1] != results[True][1]:
+                    raise SystemExit(
+                        f"sweep {column} f={fraction}: position counts "
+                        f"differ with zone maps on")
+                cells.append({
+                    "column": column,
+                    "sorted": sortedness,
+                    "compression": level.name,
+                    "fraction": fraction,
+                    "qualifying": results[True][1],
+                    "pages_read_off": results[False][0].pages_read,
+                    "pages_read_on": results[True][0].pages_read,
+                    "blocks_skipped": results[True][0].blocks_skipped,
+                    "synopsis_probes": results[True][0].synopsis_probes,
+                })
+    return cells
+
+
+def check(cells: list) -> list:
+    """Violated guarantees in the SSB cells (empty list = pass)."""
+    problems = []
+    for cell in cells:
+        name = f"{cell['query']} [{cell['config']}]"
+        if cell["pages_read_on"] > cell["pages_read_off"]:
+            problems.append(
+                f"{name}: zone maps read MORE pages "
+                f"({cell['pages_read_on']} > {cell['pages_read_off']})")
+        if cell["config"] == STRICT_CONFIG and \
+                cell["query"] in STRICT_QUERIES and \
+                cell["pages_read_on"] >= cell["pages_read_off"]:
+            problems.append(
+                f"{name}: expected a strict page win, got "
+                f"{cell['pages_read_on']} vs {cell['pages_read_off']}")
+        if cell["blocks_skipped"] == 0 and \
+                not cell["ledger_identical_mod_skips"]:
+            problems.append(
+                f"{name}: pruning skipped nothing but the ledger "
+                f"still drifted")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=0.05,
+                        help="scale factor (default 0.05)")
+    parser.add_argument("--out", default="BENCH_zonemaps.json",
+                        help="output path (default BENCH_zonemaps.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the pruning guarantees and exit "
+                             "(no artifact written); meant for CI at a "
+                             "small --sf")
+    args = parser.parse_args(argv)
+
+    print(f"generating SSB data at SF {args.sf} ...")
+    harness = Harness(scale_factor=args.sf)
+    ssb_cells = run_ssb(harness)
+    problems = check(ssb_cells)
+
+    if args.check:
+        if problems:
+            print(f"ZONE-MAP CHECK FAILED — {len(problems)} problem(s):")
+            for message in problems:
+                print(f"  {message}")
+            return 1
+        print(f"zone-map check passed: {len(ssb_cells)} SSB cell(s), "
+              f"on-mode never read more pages than off-mode")
+        return 0
+
+    sweep_cells = run_sweep(harness)
+    report = {
+        "scale_factor": args.sf,
+        "ssb": ssb_cells,
+        "sweep": sweep_cells,
+        "guarantees_hold": not problems,
+        "problems": problems,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"\n{'query':8s} {'config':6s} {'pages off':>9s} {'on':>5s} "
+          f"{'skipped':>7s} {'io off':>9s} {'io on':>9s}")
+    for cell in ssb_cells:
+        print(f"{cell['query']:8s} {cell['config']:6s} "
+              f"{cell['pages_read_off']:9d} {cell['pages_read_on']:5d} "
+              f"{cell['blocks_skipped']:7d} "
+              f"{cell['striped_io_seconds_off']:8.4f}s "
+              f"{cell['striped_io_seconds_on']:8.4f}s")
+    print(f"\n{'column':10s} {'comp':5s} {'frac':>5s} {'pages off':>9s} "
+          f"{'on':>5s} {'skipped':>7s}")
+    for cell in sweep_cells:
+        print(f"{cell['column']:10s} {cell['compression']:5s} "
+              f"{cell['fraction']:5.2f} {cell['pages_read_off']:9d} "
+              f"{cell['pages_read_on']:5d} {cell['blocks_skipped']:7d}")
+    if problems:
+        print(f"\nWARNING — {len(problems)} guarantee violation(s):")
+        for message in problems:
+            print(f"  {message}")
+    print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

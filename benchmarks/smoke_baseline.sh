@@ -4,6 +4,11 @@
 # whole stack is deterministic, so the check must pass (exit 0); any
 # nonzero exit here means either a real regression or broken plumbing.
 #
+# The cycle runs twice — zone maps off (the paper's configuration) and
+# on — and then benchmarks/bench_zonemaps.py --check asserts the pruning
+# contract: the on-mode never reads more pages than the off-mode, and
+# the selective Q1.x scans read strictly fewer.
+#
 # Usage:  sh benchmarks/smoke_baseline.sh  (from the repo root)
 set -e
 
@@ -11,8 +16,14 @@ SF="${REPRO_SMOKE_SF:-0.004}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-PYTHONPATH=src python -m repro.bench figure5 --sf "$SF" \
-    --write-baseline "$OUT/baseline.json" \
-    --trace-json "$OUT/traces.jsonl" > /dev/null
-PYTHONPATH=src python -m repro.bench --check-baseline "$OUT/baseline.json"
-echo "smoke_baseline: OK (sf $SF)"
+for MODE in off on; do
+    PYTHONPATH=src python -m repro.bench figure5 --sf "$SF" \
+        --zone-maps "$MODE" \
+        --write-baseline "$OUT/baseline-$MODE.json" \
+        --trace-json "$OUT/traces-$MODE.jsonl" > /dev/null
+    PYTHONPATH=src python -m repro.bench \
+        --check-baseline "$OUT/baseline-$MODE.json"
+done
+
+PYTHONPATH=src python benchmarks/bench_zonemaps.py --check --sf "$SF"
+echo "smoke_baseline: OK (sf $SF, zone maps off+on)"

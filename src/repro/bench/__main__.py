@@ -72,6 +72,11 @@ def main(argv=None) -> int:
                         help="morsel workers for column-store runs "
                              "(default 1 = serial; simulated seconds are "
                              "identical either way, only wall-clock moves)")
+    parser.add_argument("--zone-maps", default=None, choices=["on", "off"],
+                        help="consult per-block min/max synopses before "
+                             "scans on both engines (default off; results "
+                             "never change, only pages read — see "
+                             "docs/synopses.md)")
     parser.add_argument("--out", default=None,
                         help="output path for the 'report' target "
                              "(default: stdout)")
@@ -131,10 +136,12 @@ def main(argv=None) -> int:
                       verify_against_reference=args.verify,
                       workers=args.workers,
                       fault_profile=args.fault_profile,
-                      fault_seed=args.fault_seed)
+                      fault_seed=args.fault_seed,
+                      zone_maps=args.zone_maps == "on")
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
-          f"seed {harness.seed}")
+          f"seed {harness.seed}"
+          + (", zone maps on" if harness.zone_maps else ""))
 
     if args.target == "breakdown":
         from ..core.config import ExecutionConfig
@@ -143,6 +150,10 @@ def main(argv=None) -> int:
 
         query = query_by_name(args.query)
         config = ExecutionConfig.from_label(args.config)
+        if harness.zone_maps:
+            from dataclasses import replace
+
+            config = replace(config, zone_maps=True)
         design = next(d for d in DesignKind if d.value == args.design)
         col_run = harness.cstore().execute(query, config)
         row_run = harness.system_x([design]).execute(query, design)
@@ -196,7 +207,8 @@ def main(argv=None) -> int:
                     write_baseline(args.write_baseline, grid,
                                    figure=target,
                                    scale_factor=harness.scale_factor,
-                                   workers=harness.workers)
+                                   workers=harness.workers,
+                                   zone_maps=harness.zone_maps)
                     print(f"\nwrote baseline {args.write_baseline}")
             print(f"\n[{target} regenerated in "
                   f"{time.time() - started:.1f}s wall clock]")
@@ -215,7 +227,8 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
         parser.error(f"--serve takes no figure target, got {args.target!r}")
     harness = Harness(scale_factor=args.sf,
                       fault_profile=args.fault_profile,
-                      fault_seed=args.fault_seed)
+                      fault_seed=args.fault_seed,
+                      zone_maps=args.zone_maps == "on")
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}")
@@ -246,13 +259,20 @@ def _run_check_baseline(parser: argparse.ArgumentParser, args) -> int:
     if args.sf is not None and args.sf != baseline["scale_factor"]:
         parser.error(f"--sf {args.sf} conflicts with the baseline's "
                      f"scale factor {baseline['scale_factor']}")
+    if args.zone_maps is not None and \
+            (args.zone_maps == "on") != baseline.get("zone_maps", False):
+        parser.error(f"--zone-maps {args.zone_maps} conflicts with the "
+                     f"baseline's setting "
+                     f"{baseline.get('zone_maps', False)}")
     harness = Harness(scale_factor=baseline["scale_factor"],
                       verify_against_reference=args.verify,
                       workers=baseline["workers"],
                       fault_profile=args.fault_profile,
-                      fault_seed=args.fault_seed)
+                      fault_seed=args.fault_seed,
+                      zone_maps=baseline.get("zone_maps", False))
     print(f"checking {figure} against {args.check_baseline} "
-          f"(sf {harness.scale_factor}, {harness.workers} worker(s))")
+          f"(sf {harness.scale_factor}, {harness.workers} worker(s)"
+          + (", zone maps on" if harness.zone_maps else "") + ")")
     grid = _FIGURES[figure][0](harness)
     regressions = check_against_baseline(grid, baseline)
     if regressions:

@@ -31,7 +31,7 @@ DEFAULT_TOLERANCE = 0.02
 
 
 def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
-                    workers: int) -> Dict:
+                    workers: int, zone_maps: bool = False) -> Dict:
     """The grid as a JSON-ready dict (stable key order)."""
     grid.validate_aligned()
     return {
@@ -39,6 +39,7 @@ def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
         "figure": figure,
         "scale_factor": scale_factor,
         "workers": workers,
+        "zone_maps": zone_maps,
         "series": {
             label: {q: seconds for q, seconds in sorted(values.items())}
             for label, values in grid.series.items()
@@ -47,9 +48,11 @@ def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
 
 
 def write_baseline(path: str, grid: RunGrid, *, figure: str,
-                   scale_factor: float, workers: int) -> None:
+                   scale_factor: float, workers: int,
+                   zone_maps: bool = False) -> None:
     record = baseline_record(grid, figure=figure,
-                             scale_factor=scale_factor, workers=workers)
+                             scale_factor=scale_factor, workers=workers,
+                             zone_maps=zone_maps)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
@@ -69,6 +72,8 @@ def load_baseline(path: str) -> Dict:
     for key in ("figure", "scale_factor", "workers", "series"):
         if key not in record:
             raise BenchmarkError(f"baseline {path!r} is missing {key!r}")
+    # "zone_maps" is optional — pre-synopsis artifacts omit it and are
+    # interpreted as zone-maps-off (which is what they measured)
     return record
 
 

@@ -109,7 +109,8 @@ class Harness:
                  verify_against_reference: bool = False,
                  workers: int = 1,
                  fault_profile: Optional[str] = None,
-                 fault_seed: int = 0) -> None:
+                 fault_seed: int = 0,
+                 zone_maps: bool = False) -> None:
         self.scale_factor = (scale_factor if scale_factor is not None
                              else scale_factor_from_env())
         self.seed = seed
@@ -117,6 +118,9 @@ class Harness:
         #: morsel workers for column-store runs (1 = serial).  Parallel
         #: runs charge the same simulated ledger — only wall-clock moves.
         self.workers = workers
+        #: consult zone-map synopses on both engines' scan paths (results
+        #: are invariant; only pages touched and the skip counters move)
+        self.zone_maps = zone_maps
         #: optional seeded fault schedule installed on each engine's disk
         #: right after it is built (see :mod:`repro.simio.faults`);
         #: tables loaded later (e.g. denormalized ones) are not corrupted
@@ -155,7 +159,8 @@ class Harness:
 
     def system_x(self, designs: Sequence[DesignKind]) -> SystemX:
         if self._system_x is None:
-            self._system_x = SystemX(self.data, designs=list(designs))
+            self._system_x = SystemX(self.data, designs=list(designs),
+                                     zone_maps=self.zone_maps)
             self._built_designs = set(designs)
             self._install_faults(self._system_x.disk)
         else:
@@ -221,6 +226,8 @@ class Harness:
                           config: ExecutionConfig) -> float:
         if self.workers > 1 and config.workers != self.workers:
             config = replace(config, workers=self.workers)
+        if self.zone_maps and not config.zone_maps:
+            config = replace(config, zone_maps=True)
         run = self.cstore().execute(query, config)
         self._check(query, run.result)
         self._emit_trace(run, "colstore", config.label, query.name)
@@ -236,8 +243,10 @@ class Harness:
                          level: CompressionLevel) -> float:
         store = self.cstore_with_denorm()
         rewritten = rewrite_query(query)
-        run = store.execute(rewritten, ExecutionConfig.baseline(),
-                            level=level)
+        config = ExecutionConfig.baseline()
+        if self.zone_maps:
+            config = replace(config, zone_maps=True)
+        run = store.execute(rewritten, config, level=level)
         if self.verify:
             wide_tables = dict(self.data.tables)
             wide_tables[rewritten.fact_table] = denormalize(self.data)

@@ -115,6 +115,7 @@ _CPU_TERMS = [
     ("sort_compares", "sort_compare_seconds"),
     ("dict_lookups", "dict_lookup_seconds"),
     ("cache_lookups", "cache_lookup_seconds"),
+    ("synopsis_probes", "synopsis_probe_seconds"),
 ]
 
 

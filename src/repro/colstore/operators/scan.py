@@ -41,6 +41,7 @@ from ..positions import (
     from_bitmap_maybe_range,
 )
 from ...core.config import ExecutionConfig
+from ...synopsis import load_column_synopsis, mask_runs, prune_blocks
 
 Bound = Union[int, bytes]
 
@@ -147,6 +148,35 @@ def _mask_for(data: np.ndarray, bounds, needles) -> np.ndarray:
     return (data >= lo) & (data <= hi)
 
 
+def _surviving_runs(colfile: ColumnFile, stats: QueryStats,
+                    config: ExecutionConfig, first: int, last: int,
+                    bounds, needles) -> List[Tuple[int, int]]:
+    """Inclusive block runs the scan must read, after zone-map pruning.
+
+    With zone maps off (or the synopsis missing/corrupt/inapplicable)
+    this is the single unpruned run ``[(first, last)]`` and no counter
+    moves, so off-mode ledgers are exactly what they were before this
+    layer existed.  With pruning active, each block examined charges one
+    ``synopsis_probes`` tick; skipped blocks are counted in
+    ``blocks_skipped`` and never reach the buffer pool.
+    """
+    if not config.zone_maps:
+        return [(first, last)]
+    synopsis = load_column_synopsis(colfile)
+    if synopsis is None:
+        return [(first, last)]
+    mask = prune_blocks(synopsis, first, last, bounds=bounds,
+                        needles=needles)
+    if mask is None:
+        return [(first, last)]
+    stats.synopsis_probes += last - first + 1
+    skipped = int(mask.size - mask.sum())
+    if skipped == 0:
+        return [(first, last)]
+    stats.blocks_skipped += skipped
+    return mask_runs(mask, first)
+
+
 def predicate_positions(
     colfile: ColumnFile,
     pool: BufferPool,
@@ -173,25 +203,32 @@ def predicate_positions(
         return EMPTY
     span = hi_pos - lo_pos
     bits = np.zeros(span, dtype=bool)
-    for block in colfile.iter_blocks(pool, direct=config.compression,
-                                     first_block=first, last_block=last):
-        if isinstance(block, RleBlock):
-            run_mask = _mask_for(block.run_values, bounds, needles)
-            _charge_runs(stats, config, block.num_runs, comparisons)
-            if not run_mask.any():
+    # zone maps: skipped blocks never reach the pool; their positions
+    # stay False in the bitmap, which is exactly what scanning them
+    # would have produced
+    runs = _surviving_runs(colfile, stats, config, first, last,
+                           bounds, needles)
+    for run_first, run_last in runs:
+        for block in colfile.iter_blocks(pool, direct=config.compression,
+                                         first_block=run_first,
+                                         last_block=run_last):
+            if isinstance(block, RleBlock):
+                run_mask = _mask_for(block.run_values, bounds, needles)
+                _charge_runs(stats, config, block.num_runs, comparisons)
+                if not run_mask.any():
+                    continue
+                value_mask = np.repeat(run_mask, block.run_lengths)
+            else:
+                width_words = max(1, block.data.dtype.itemsize // 4)
+                value_mask = _mask_for(block.data, bounds, needles)
+                _charge_array(stats, config, block.count, width_words,
+                              comparisons)
+            b_lo = max(block.start, lo_pos)
+            b_hi = min(block.end, hi_pos)
+            if b_hi <= b_lo:
                 continue
-            value_mask = np.repeat(run_mask, block.run_lengths)
-        else:
-            width_words = max(1, block.data.dtype.itemsize // 4)
-            value_mask = _mask_for(block.data, bounds, needles)
-            _charge_array(stats, config, block.count, width_words,
-                          comparisons)
-        b_lo = max(block.start, lo_pos)
-        b_hi = min(block.end, hi_pos)
-        if b_hi <= b_lo:
-            continue
-        bits[b_lo - lo_pos:b_hi - lo_pos] = \
-            value_mask[b_lo - block.start:b_hi - block.start]
+            bits[b_lo - lo_pos:b_hi - lo_pos] = \
+                value_mask[b_lo - block.start:b_hi - block.start]
     return from_bitmap_maybe_range(lo_pos, bits)
 
 
@@ -215,27 +252,31 @@ def probe_positions(
         return EMPTY
     span = hi_pos - lo_pos
     bits = np.zeros(span, dtype=bool)
-    for block in colfile.iter_blocks(pool, direct=config.compression,
-                                     first_block=first, last_block=last):
-        if isinstance(block, RleBlock):
-            stats.hash_probes += block.num_runs
-            if not config.block_iteration:
-                stats.values_scanned_scalar += block.num_runs
-            run_mask = _probe(keys, block.run_values)
-            value_mask = np.repeat(run_mask, block.run_lengths)
-        else:
-            stats.hash_probes += block.count
-            if not config.block_iteration:
-                stats.values_scanned_scalar += block.count
+    runs = _surviving_runs(colfile, stats, config, first, last,
+                           None, keys)
+    for run_first, run_last in runs:
+        for block in colfile.iter_blocks(pool, direct=config.compression,
+                                         first_block=run_first,
+                                         last_block=run_last):
+            if isinstance(block, RleBlock):
+                stats.hash_probes += block.num_runs
+                if not config.block_iteration:
+                    stats.values_scanned_scalar += block.num_runs
+                run_mask = _probe(keys, block.run_values)
+                value_mask = np.repeat(run_mask, block.run_lengths)
             else:
-                stats.block_calls += 1
-            value_mask = _probe(keys, block.data)
-        b_lo = max(block.start, lo_pos)
-        b_hi = min(block.end, hi_pos)
-        if b_hi <= b_lo:
-            continue
-        bits[b_lo - lo_pos:b_hi - lo_pos] = \
-            value_mask[b_lo - block.start:b_hi - block.start]
+                stats.hash_probes += block.count
+                if not config.block_iteration:
+                    stats.values_scanned_scalar += block.count
+                else:
+                    stats.block_calls += 1
+                value_mask = _probe(keys, block.data)
+            b_lo = max(block.start, lo_pos)
+            b_hi = min(block.end, hi_pos)
+            if b_hi <= b_lo:
+                continue
+            bits[b_lo - lo_pos:b_hi - lo_pos] = \
+                value_mask[b_lo - block.start:b_hi - block.start]
     return from_bitmap_maybe_range(lo_pos, bits)
 
 

@@ -55,6 +55,12 @@ class ExecutionConfig:
     #: splits each operator's position space evenly across ``workers``;
     #: explicit sizes are snapped up to storage block boundaries.
     morsel_rows: Optional[int] = None
+    #: extension (off by default — the paper's C-Store scans): consult
+    #: per-block min/max synopses (zone maps) before reading, skipping
+    #: blocks that cannot satisfy the predicate.  Not part of the
+    #: four-letter label: it never changes results, only which pages a
+    #: scan touches (see ``docs/synopses.md``).
+    zone_maps: bool = False
 
     def __post_init__(self) -> None:
         if self.invisible_join and not self.late_materialization:

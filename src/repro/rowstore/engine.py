@@ -67,6 +67,10 @@ class SystemX:
         Converts measured work into simulated seconds.
     buffer_pool_bytes / join_memory_bytes:
         Override the sf-scaled defaults (mostly for ablation benches).
+    zone_maps:
+        Consult per-page min/max synopses before heap scans, skipping
+        pages that cannot satisfy the pushed-down predicates.  Off by
+        default (the paper's System X reads every page).
     """
 
     def __init__(
@@ -76,9 +80,11 @@ class SystemX:
         cost_model: CostModel = PAPER_2008,
         buffer_pool_bytes: Optional[int] = None,
         join_memory_bytes: Optional[int] = None,
+        zone_maps: bool = False,
     ) -> None:
         self.data = data
         self.cost_model = cost_model
+        self.zone_maps = zone_maps
         scale = data.scale_factor / PAPER_SCALE_FACTOR
         if buffer_pool_bytes is None:
             buffer_pool_bytes = max(MIN_POOL_BYTES,
@@ -160,7 +166,8 @@ class SystemX:
         spill = SpillAccountant(self.disk, self.join_memory_bytes)
         tracer = Tracer(stats, self.cost_model)
         planner = RowPlanner(self.pool, self.artifacts, self.data, spill,
-                             statistics=self.statistics, tracer=tracer)
+                             statistics=self.statistics, tracer=tracer,
+                             zone_maps=self.zone_maps)
         try:
             result = planner.run(query, design,
                                  prune_partitions=prune_partitions,

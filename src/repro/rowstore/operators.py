@@ -37,6 +37,7 @@ from ..simio.buffer_pool import BufferPool
 from ..simio.disk import PAGE_SIZE, SimulatedDisk
 from ..simio.stats import QueryStats
 from ..storage.heapfile import HeapFile
+from ..synopsis import heap_page_mask, load_heap_synopsis, mask_runs
 from .btree import BPlusTree
 from .predicates import compile_predicate
 
@@ -85,6 +86,41 @@ def qualified(table: str, column: str) -> str:
 # --------------------------------------------------------------------- #
 # scans
 # --------------------------------------------------------------------- #
+def _scan_record_pages(
+    heap: HeapFile,
+    pool: BufferPool,
+    predicates: Sequence[Predicate],
+    zone_maps: bool,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(page_no, record batch)`` for every page a scan must read.
+
+    With zone maps on, the heap's sidecar synopsis is consulted first and
+    pages whose per-column min/max cannot satisfy the conjunction of
+    ``predicates`` are never requested from the buffer pool.  Each page
+    examined charges one ``synopsis_probes`` tick; when nothing can be
+    skipped (or the synopsis is missing/corrupt) the scan degenerates to
+    the plain full sweep, byte-for-byte.
+    """
+    stats = pool.stats
+    if zone_maps and predicates:
+        synopsis = load_heap_synopsis(heap)
+        if synopsis is not None:
+            mask = heap_page_mask(synopsis, predicates)
+            stats.synopsis_probes += int(mask.size)
+            skipped = int(mask.size - mask.sum())
+            if skipped:
+                stats.blocks_skipped += skipped
+                for first, last in mask_runs(mask):
+                    page_no = first
+                    for payload in pool.scan_pages(heap.name, first,
+                                                   last + 1):
+                        yield page_no, heap.fmt.parse_page(payload)
+                        page_no += 1
+                return
+    for page_no, payload in enumerate(pool.scan_pages(heap.name)):
+        yield page_no, heap.fmt.parse_page(payload)
+
+
 def seq_scan(
     heap: HeapFile,
     pool: BufferPool,
@@ -93,22 +129,28 @@ def seq_scan(
     predicates: Sequence[Predicate] = (),
     rid_column: Optional[str] = None,
     rid_base: int = 0,
+    zone_maps: bool = False,
 ) -> Iterator[RowBatch]:
     """Sequential heap scan with pushed-down predicates.
 
     Charges one iterator call per scanned tuple, one attribute extraction
     per predicate/output column access per surviving tuple.  ``rid_column``
     optionally emits record ids (used by designs that join on position).
+    ``zone_maps`` prunes whole pages via the heap's synopsis sidecar;
+    skipped pages charge no I/O and no per-tuple work.
     """
     stats = pool.stats
     compiled = [
         (p.column, compile_predicate(p, heap.fmt.dtype[p.column]))
         for p in predicates
     ]
-    base = rid_base
     record_width = heap.fmt.record_width
-    for records in heap.scan_batches(pool):
+    rows_per_page = heap.fmt.rows_per_page
+    for page_no, records in _scan_record_pages(heap, pool, predicates,
+                                               zone_maps):
         n = len(records)
+        # only the final page is partial, so rids are page arithmetic
+        base = rid_base + page_no * rows_per_page
         stats.iterator_calls += n
         # parsing/copying each tuple costs time proportional to its width
         stats.tuple_bytes_scanned += n * record_width
@@ -138,7 +180,6 @@ def seq_scan(
         if rid_column is not None:
             rids = np.arange(base, base + n, dtype=np.int64)
             out[rid_column] = rids if sel_idx is None else rids[sel_idx]
-        base += n
         yield RowBatch(out)
 
 
@@ -149,6 +190,7 @@ def super_tuple_scan(
     column: str,
     predicates: Sequence[Predicate] = (),
     pos_name: str = "_pos",
+    zone_maps: bool = False,
 ) -> Iterator[RowBatch]:
     """Scan a header-free single-column heap a *block* at a time.
 
@@ -163,13 +205,14 @@ def super_tuple_scan(
         (p.column, compile_predicate(p, heap.fmt.dtype[p.column]))
         for p in predicates
     ]
-    base = 0
-    for records in heap.scan_batches(pool):
+    rows_per_page = heap.fmt.rows_per_page
+    for page_no, records in _scan_record_pages(heap, pool, predicates,
+                                               zone_maps):
         n = len(records)
         stats.block_calls += 1
+        base = page_no * rows_per_page
         values = np.ascontiguousarray(records[column])
         positions = np.arange(base, base + n, dtype=np.int64)
-        base += n
         mask: Optional[np.ndarray] = None
         for _col, pred in compiled:
             # predicates are vectorized over the block, not interpreted

@@ -81,11 +81,14 @@ class RowPlanner:
         spill: SpillAccountant,
         statistics=None,
         tracer: Optional[Tracer] = None,
+        zone_maps: bool = False,
     ) -> None:
         self.pool = pool
         self.artifacts = artifacts
         self.catalog = catalog
         self.spill = spill
+        #: consult heap synopsis sidecars to skip non-qualifying pages
+        self.zone_maps = zone_maps
         if statistics is None:
             from .statistics import CatalogStatistics
 
@@ -141,6 +144,7 @@ class RowPlanner:
                     heap, self.pool, dim,
                     out_columns=[key_col] + attrs,
                     predicates=query.dimension_predicates(dim),
+                    zone_maps=self.zone_maps,
                 )
                 table = HashTable.from_stream(
                     stream, qualified(dim, key_col),
@@ -254,6 +258,7 @@ class RowPlanner:
                 heap, self.pool, query.fact_table,
                 out_columns=out_columns,
                 predicates=query.fact_predicates(),
+                zone_maps=self.zone_maps,
             )
 
     def _run_traditional(self, query: StarQuery, prune: bool) -> ResultSet:
@@ -330,7 +335,8 @@ class RowPlanner:
             # nothing bitmap-able: degrade to a plain scan of the heap
             stream = seq_scan(
                 fact_heap, self.pool, query.fact_table,
-                self._fact_out_columns(query), query.fact_predicates())
+                self._fact_out_columns(query), query.fact_predicates(),
+                zone_maps=self.zone_maps)
         else:
             stream = heap_fetch(
                 fact_heap, self.pool, rids, query.fact_table,
@@ -368,6 +374,7 @@ class RowPlanner:
             heap, self.pool, table_alias,
             out_columns=["pos", column],
             predicates=[self._rebase_pred(p, table_alias) for p in predicates],
+            zone_maps=self.zone_maps,
         )
 
     @staticmethod
@@ -388,6 +395,7 @@ class RowPlanner:
             predicates=[self._rebase_pred(p, table_alias)
                         for p in predicates],
             pos_name=pos_key,
+            zone_maps=self.zone_maps,
         )
 
     def _run_vertical(self, query: StarQuery,

@@ -26,14 +26,22 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .errors import ReproError, ScrubError
-from .simio.disk import SimulatedDisk, page_checksum
+from .simio.disk import PAGE_SIZE, SimulatedDisk, page_checksum
 from .storage.colfile import (
     _PAGE_HEADER_BYTES,
     ColumnFile,
     CompressionLevel,
 )
+from .storage.encodings import decode_payload
 from .storage.encodings.plain import PLAIN
 from .storage.projection import Projection
+from .synopsis import (
+    MIN_SIDECAR_BLOCKS,
+    SIDECAR_SUFFIX,
+    ColumnSynopsisBuilder,
+    is_sidecar,
+    sidecar_name,
+)
 
 
 @dataclass
@@ -56,6 +64,10 @@ class ScrubReport:
     """Full-disk audit (and repair) outcome."""
 
     files: List[FileHealth]
+    #: zone-map sidecars rewritten because they no longer matched their
+    #: (healthy) data file — a repaired page must never ride with a
+    #: stale synopsis
+    stale_synopses: int = 0
 
     @property
     def corrupt_pages(self) -> int:
@@ -88,6 +100,9 @@ class ScrubReport:
                 status.append(f"UNREPAIRABLE {f.unrepairable}")
             lines.append(f"  {f.name} ({f.num_pages} page(s)): "
                          f"corrupt {f.corrupt} -> " + ", ".join(status))
+        if self.stale_synopses:
+            lines.append(f"  rebuilt {self.stale_synopses} stale "
+                         f"synopsis sidecar(s)")
         if self.clean:
             lines.append("  all page checksums verify")
         return "\n".join(lines)
@@ -149,13 +164,59 @@ def _encode_page(chunk: np.ndarray, level: CompressionLevel) -> bytes:
     return len(chunk).to_bytes(_PAGE_HEADER_BYTES, "little") + framed
 
 
+def _sidecar_blob(disk: SimulatedDisk, data_name: str) -> Optional[bytes]:
+    """Deterministically rebuild a column file's synopsis blob by decoding
+    its (verified) data pages and re-running the write-time builder."""
+    builder = ColumnSynopsisBuilder()
+    for payload in disk.file(data_name).pages:
+        data = decode_payload(payload[_PAGE_HEADER_BYTES:])
+        if len(data):
+            builder.add_block(data)
+    # same gate as the write path: single-block files carry no sidecar
+    if builder.num_blocks < MIN_SIDECAR_BLOCKS:
+        return None
+    return builder.blob()
+
+
+def _repair_sidecar(store, file_name: str, page_no: int) -> bool:
+    """Rebuild one corrupt zone-map sidecar page from its data file.
+
+    Requires every data page to verify first (the fixpoint loop in
+    :func:`scrub_store` repairs data before retrying sidecars), so a
+    repaired data page can never ride with a stale zone map."""
+    disk: SimulatedDisk = store.disk
+    data_name = file_name[:-len(SIDECAR_SUFFIX)]
+    if not disk.exists(data_name):
+        return False
+    data = disk.file(data_name)
+    if any(not disk.verify_page(data_name, p)
+           for p in range(data.num_pages)):
+        return False
+    try:
+        blob = _sidecar_blob(disk, data_name)
+    except ReproError:
+        return False
+    if blob is None:
+        return False
+    payload = blob[page_no * PAGE_SIZE:(page_no + 1) * PAGE_SIZE]
+    if page_checksum(payload) != disk.expected_checksum(file_name, page_no):
+        return False
+    disk.rewrite_page(file_name, page_no, payload, charge=True)
+    disk.unquarantine(file_name, page_no)
+    store.pool.invalidate(file_name)
+    return True
+
+
 def repair_page(store, file_name: str, page_no: int) -> bool:
     """Rebuild one corrupt column-file page from a sibling projection.
 
     Returns True when the page was rewritten byte-identically (checked
     against the stored CRC); False when no intact donor could serve it.
+    Zone-map sidecars are rebuilt from their own data file instead.
     """
     disk: SimulatedDisk = store.disk
+    if is_sidecar(file_name):
+        return _repair_sidecar(store, file_name, page_no)
     owner = store.find_owner(file_name)
     if owner is None:
         return False
@@ -219,7 +280,47 @@ def scrub_store(store, repair: bool = True) -> ScrubReport:
                 health.unrepairable.append(page_no)
             break
         pending = still
-    return ScrubReport(files=files)
+    return ScrubReport(files=files,
+                       stale_synopses=_rebuild_stale_synopses(store))
+
+
+def _rebuild_stale_synopses(store) -> int:
+    """Verify every healthy data file's sidecar still matches a fresh
+    rebuild; rewrite any that drifted.  Belt-and-braces: page repairs
+    are byte-identical, so drift normally cannot happen — but a repaired
+    page must never ride with a stale zone map."""
+    disk: SimulatedDisk = store.disk
+    rebuilt = 0
+    for data_name in disk.files():
+        if is_sidecar(data_name):
+            continue
+        zm_name = sidecar_name(data_name)
+        if not disk.exists(zm_name):
+            continue
+        zm = disk.file(zm_name)
+        data = disk.file(data_name)
+        # only compare when both sides verify; corrupt pages were already
+        # handled (or reported unrepairable) by the repair loop
+        if any(not disk.verify_page(data_name, p)
+               for p in range(data.num_pages)):
+            continue
+        if any(not disk.verify_page(zm_name, p)
+               for p in range(zm.num_pages)):
+            continue
+        try:
+            blob = _sidecar_blob(disk, data_name)
+        except ReproError:
+            continue
+        expected = blob if blob is not None else b""
+        if b"".join(zm.pages) == expected:
+            continue
+        for page_no in range(zm.num_pages):
+            want = expected[page_no * PAGE_SIZE:(page_no + 1) * PAGE_SIZE]
+            if zm.pages[page_no] != want:
+                disk.rewrite_page(zm_name, page_no, want, charge=True)
+        store.pool.invalidate(zm_name)
+        rebuilt += 1
+    return rebuilt
 
 
 # --------------------------------------------------------------------- #

@@ -131,7 +131,10 @@ class ColumnStoreAdapter:
                 else CompressionLevel.NONE)
 
     def scope(self, session: Session) -> Tuple:
-        return ("cs", session.config.label, self.level(session).value)
+        # zone maps never change results, but scoping on the flag keeps
+        # cached ledgers/traces comparable within one setting
+        return ("cs", session.config.label, self.level(session).value,
+                "zm" if session.config.zone_maps else "")
 
     def share_key(self, query: StarQuery, session: Session) -> Tuple:
         level = self.level(session)
@@ -325,7 +328,8 @@ class RowStoreAdapter:
         self.engine = engine
 
     def scope(self, session: Session) -> Tuple:
-        return ("rs", session.design.value)
+        return ("rs", session.design.value,
+                "zm" if self.engine.zone_maps else "")
 
     def share_key(self, query: StarQuery, session: Session) -> Tuple:
         return ("rs", session.design.value)
@@ -374,7 +378,7 @@ class RowStoreAdapter:
         tracer = Tracer(stats, engine.cost_model)
         planner = RowPlanner(engine.pool, engine.artifacts, engine.data,
                              spill, statistics=engine.statistics,
-                             tracer=tracer)
+                             tracer=tracer, zone_maps=engine.zone_maps)
         heap = engine.artifacts.heaps["lineorder"]
         rid_parts: List[np.ndarray] = []
 
@@ -390,6 +394,7 @@ class RowStoreAdapter:
                 out_columns=planner._fact_out_columns(query),
                 predicates=query.fact_predicates(),
                 rid_column="_rid",
+                zone_maps=engine.zone_maps,
             )
             for dim, table, _sel in dim_tables:
                 fk = query.fk_of(dim)
@@ -429,7 +434,8 @@ class RowStoreAdapter:
         parts = [
             np.asarray(batch.column(qualified(dim, key_col)))
             for batch in seq_scan(heap, engine.pool, dim, [key_col],
-                                  query.dimension_predicates(dim))
+                                  query.dimension_predicates(dim),
+                                  zone_maps=engine.zone_maps)
         ]
         arr = (np.concatenate(parts).astype(np.int64)
                if parts else np.zeros(0, dtype=np.int64))
@@ -457,7 +463,8 @@ class RowStoreAdapter:
         heap = engine.artifacts.heaps["lineorder"]
         spill = SpillAccountant(engine.disk, engine.join_memory_bytes)
         planner = RowPlanner(engine.pool, engine.artifacts, engine.data,
-                             spill, statistics=engine.statistics)
+                             spill, statistics=engine.statistics,
+                             zone_maps=engine.zone_maps)
         stats = planner.stats
         fact = query.fact_table
         rids = payload.rids

@@ -83,6 +83,14 @@ class QueryStats:
     sort_compares: int = 0       #: comparisons charged to sorting (n log n)
     dict_lookups: int = 0        #: dictionary decode lookups for output
 
+    # --- zone maps (maintained by the scan operators; all zero when
+    # zone maps are off, so off-mode ledgers are unchanged by the
+    # existence of the synopsis layer) ---
+    synopsis_probes: int = 0     #: zone-map entries examined before a scan
+    blocks_skipped: int = 0      #: blocks/pages never read thanks to a
+    #: synopsis (bookkeeping, like ``recoveries``: the *saving* shows up
+    #: as the I/O and CPU counters above simply not moving)
+
     # --- serving / semantic cache (maintained by repro.serve; all zero
     # on a direct engine call, so engine ledgers are unchanged by the
     # existence of the service layer) ---
@@ -232,6 +240,9 @@ class CostModel:
     #: one semantic-cache probe: a key hash plus a handful of candidate
     #: signature comparisons against an in-memory map
     cache_lookup_seconds: float = 2e-6
+    #: one zone-map entry check: two comparisons against cached min/max
+    #: arrays (the sidecar itself is decoded once and cached, so no I/O)
+    synopsis_probe_seconds: float = 5e-9
 
     def io_seconds(self, stats: QueryStats) -> float:
         """Simulated I/O time: transfer at sequential bandwidth plus seeks
@@ -283,6 +294,7 @@ class CostModel:
             + s.sort_compares * self.sort_compare_seconds
             + s.dict_lookups * self.dict_lookup_seconds
             + s.cache_lookups * self.cache_lookup_seconds
+            + s.synopsis_probes * self.synopsis_probe_seconds
         )
 
     def cost(self, stats: QueryStats) -> CostBreakdown:

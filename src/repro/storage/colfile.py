@@ -29,6 +29,7 @@ import numpy as np
 from ..errors import StorageError
 from ..simio.buffer_pool import BufferPool
 from ..simio.disk import PAGE_SIZE, SimulatedDisk
+from ..synopsis import ColumnSynopsisBuilder
 from .blocks import ArrayBlock, Block, RleBlock
 from .column import Column, StringDictionary
 from .encodings import choose_codec, decode_payload, decode_payload_runs
@@ -97,12 +98,15 @@ class ColumnFile:
         n = len(values)
         # reserve room for the largest codec framing header (16 bytes)
         max_plain = max(1, (_PAGE_CAPACITY - 16) // dtype.itemsize)
+        synopsis = ColumnSynopsisBuilder()
         while pos < n:
             chunk, framed = cls._fill_page(values, pos, max_plain, level)
             starts.append(pos)
             count = len(chunk).to_bytes(_PAGE_HEADER_BYTES, "little")
             disk.append_page(name, count + framed)
+            synopsis.add_block(chunk)
             pos += len(chunk)
+        synopsis.write(disk, name)
         if n == 0:
             starts.append(0)
             framed = PLAIN.frame(values)

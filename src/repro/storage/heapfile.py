@@ -17,6 +17,7 @@ import numpy as np
 from ..errors import StorageError
 from ..simio.buffer_pool import BufferPool
 from ..simio.disk import SimulatedDisk
+from ..synopsis import heap_synopsis_blob, sidecar_name, write_sidecar
 from ..types import ROW_TUPLE_HEADER_BYTES, Schema
 from .rowpage import RowFormat
 from .table import Table
@@ -49,6 +50,9 @@ class HeapFile:
         records = fmt.build_records(table)
         for payload in fmt.pages_of(records):
             disk.append_page(name, payload)
+        blob = heap_synopsis_blob(records, fmt.rows_per_page)
+        if blob is not None:
+            write_sidecar(disk, sidecar_name(name), blob)
         return cls(disk, name, fmt, table.num_rows)
 
     # ------------------------------------------------------------------ #

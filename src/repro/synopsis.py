@@ -1,0 +1,478 @@
+"""Zone-map synopses: per-block min/max sidecars that let scans skip I/O.
+
+Every :class:`~repro.storage.colfile.ColumnFile` and rowstore heap written
+through :class:`~repro.storage.heapfile.HeapFile` gets a sidecar file named
+``<data file>.zm`` holding, per block (column files) or per page (heaps),
+the minimum and maximum stored value — plus, for low-cardinality integer
+blocks, a small exact distinct-value set.  These are the "small
+materialized aggregates" / zone maps of the columnar-storage literature:
+a scan consults them *before* asking the buffer pool for pages, so blocks
+whose value range cannot satisfy the predicate cost zero simulated I/O and
+zero numpy work.
+
+Design rules, in order of importance:
+
+* **Never wrong, only slower.**  A synopsis is an accelerator, not an
+  authority.  If the sidecar is missing, fails its CRC, or describes a
+  value domain the predicate does not match, the loader returns ``None``
+  (with a :class:`SynopsisWarning` on corruption) and the caller falls
+  back to scanning every block.
+* **CRC-protected like pages.**  Sidecars are ordinary disk files: each
+  page carries a write-time CRC32 in the disk's out-of-band checksum map,
+  the fault injector can corrupt them (glob ``*.zm``), and the scrubber
+  audits and rebuilds them deterministically from the data pages.
+* **Charge-free consultation, visible in the ledger.**  Reading a sidecar
+  is modeled as a metadata lookup (the decoded synopsis is cached on the
+  owning file object, keyed by the sidecar's page CRCs), so it charges no
+  ``pages_read``/``bytes_read``.  What *is* charged: one
+  ``synopsis_probes`` tick per block examined (priced by
+  ``CostModel.synopsis_probe_seconds``), plus a bookkeeping-only
+  ``blocks_skipped`` count — so zone maps can never make the on-mode read
+  more pages than the off-mode.
+"""
+
+from __future__ import annotations
+
+import struct
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .plan.logical import CompareOp, Comparison, InSet, RangePredicate
+from .simio.disk import PAGE_SIZE, page_checksum
+
+#: Sidecar file suffix: ``lineorder.max.0.quantity`` → ``....quantity.zm``.
+SIDECAR_SUFFIX = ".zm"
+
+_MAGIC = b"RZM1"
+_KIND_COLUMN = 0
+_KIND_HEAP = 1
+_VK_INT = 0
+_VK_BYTES = 1
+#: Keep an exact distinct set only when a block has at most this many
+#: distinct values (dictionary/RLE-friendly columns); beyond that the
+#: min/max pair is the whole synopsis.
+MAX_DISTINCT = 16
+_NO_DISTINCT = 0xFFFF
+
+#: files with fewer blocks than this get no sidecar — skipping at most
+#: one block can never repay a whole extra page of storage
+MIN_SIDECAR_BLOCKS = 2
+
+
+class SynopsisWarning(UserWarning):
+    """A synopsis could not be used (corrupt or undecodable); the scan
+    falls back to reading every block.  Results are unaffected."""
+
+
+def sidecar_name(data_name: str) -> str:
+    """Sidecar file name for a data file."""
+    return data_name + SIDECAR_SUFFIX
+
+
+def is_sidecar(name: str) -> bool:
+    return name.endswith(SIDECAR_SUFFIX)
+
+
+# ---------------------------------------------------------------------- #
+# builders (write side)
+# ---------------------------------------------------------------------- #
+class ColumnSynopsisBuilder:
+    """Accumulates per-block min/max (+ small distinct sets) for one
+    column file, in block order, then serializes to a sidecar blob.
+
+    The builder sees the same decoded value chunks the writer frames into
+    pages, so rebuilding from the data pages (the scrubber does this)
+    reproduces the blob byte for byte.
+    """
+
+    def __init__(self) -> None:
+        self._mins: List = []
+        self._maxs: List = []
+        self._distincts: List[Optional[np.ndarray]] = []
+        self._value_kind: Optional[int] = None
+        self._width = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._mins)
+
+    def add_block(self, chunk: np.ndarray) -> None:
+        """Record one block's values (a non-empty 1-D array)."""
+        if chunk.dtype.kind in "iu":
+            kind, width = _VK_INT, 0
+            lo, hi = int(chunk.min()), int(chunk.max())
+            uniq = np.unique(chunk)
+            distinct = (uniq.astype(np.int64) if len(uniq) <= MAX_DISTINCT
+                        else None)
+        elif chunk.dtype.kind == "S":
+            kind, width = _VK_BYTES, chunk.dtype.itemsize
+            values = chunk.tolist()  # trailing NULs stripped, like numpy
+            lo, hi = min(values), max(values)
+            distinct = None
+        else:
+            raise TypeError(f"unsupported synopsis dtype {chunk.dtype!r}")
+        if self._value_kind is None:
+            self._value_kind, self._width = kind, width
+        elif (kind, width) != (self._value_kind, self._width):
+            raise TypeError("mixed value kinds in one column synopsis")
+        self._mins.append(lo)
+        self._maxs.append(hi)
+        self._distincts.append(distinct)
+
+    def blob(self) -> bytes:
+        """Serialize to the deterministic ``RZM1`` column format."""
+        vk, width, n = self._value_kind, self._width, self.num_blocks
+        parts = [_MAGIC, bytes([_KIND_COLUMN, vk]),
+                 struct.pack("<HI", width, n)]
+        if vk == _VK_INT:
+            parts.append(np.asarray(self._mins, np.int64).tobytes())
+            parts.append(np.asarray(self._maxs, np.int64).tobytes())
+            for distinct in self._distincts:
+                if distinct is None:
+                    parts.append(struct.pack("<H", _NO_DISTINCT))
+                else:
+                    parts.append(struct.pack("<H", len(distinct)))
+                    parts.append(distinct.tobytes())
+        else:
+            parts.append(np.asarray(self._mins, f"S{width}").tobytes())
+            parts.append(np.asarray(self._maxs, f"S{width}").tobytes())
+        return b"".join(parts)
+
+    def write(self, disk, data_name: str) -> None:
+        """Persist the sidecar next to ``data_name``.
+
+        Single-block files get no sidecar: a zone map that can at best
+        skip one block is not worth its own 32 KB page, and most small
+        dimension/compressed files are exactly one block — without this
+        gate the synopsis layer would nearly double their footprint.
+        """
+        if self.num_blocks >= MIN_SIDECAR_BLOCKS:
+            write_sidecar(disk, sidecar_name(data_name), self.blob())
+
+
+def heap_synopsis_blob(records: np.ndarray,
+                       rows_per_page: int) -> Optional[bytes]:
+    """Per-page min/max over every data field of a heap's record array
+    (``None`` for an empty or single-page heap — see
+    :data:`MIN_SIDECAR_BLOCKS`).  Fields of void kind — the record
+    header — carry no queryable values and are skipped."""
+    total = len(records)
+    if total == 0:
+        return None
+    names = [name for name in records.dtype.names
+             if records.dtype[name].kind != "V"]
+    num_pages = -(-total // rows_per_page)
+    if num_pages < MIN_SIDECAR_BLOCKS:
+        return None
+    parts = [_MAGIC, bytes([_KIND_HEAP, 0]),
+             struct.pack("<IH", num_pages, len(names))]
+    for name in names:
+        column = records[name]
+        kind = _VK_INT if column.dtype.kind in "iu" else _VK_BYTES
+        width = 0 if kind == _VK_INT else column.dtype.itemsize
+        encoded = name.encode("ascii")
+        parts.append(struct.pack("<H", len(encoded)) + encoded
+                     + bytes([kind]) + struct.pack("<H", width))
+        mins: List = []
+        maxs: List = []
+        for start in range(0, total, rows_per_page):
+            chunk = column[start:start + rows_per_page]
+            if kind == _VK_INT:
+                mins.append(int(chunk.min()))
+                maxs.append(int(chunk.max()))
+            else:
+                values = chunk.tolist()
+                mins.append(min(values))
+                maxs.append(max(values))
+        if kind == _VK_INT:
+            parts.append(np.asarray(mins, np.int64).tobytes())
+            parts.append(np.asarray(maxs, np.int64).tobytes())
+        else:
+            parts.append(np.asarray(mins, f"S{width}").tobytes())
+            parts.append(np.asarray(maxs, f"S{width}").tobytes())
+    return b"".join(parts)
+
+
+def write_sidecar(disk, name: str, blob: bytes) -> None:
+    """Write a synopsis blob as an ordinary CRC-mapped disk file."""
+    disk.create(name)
+    for offset in range(0, len(blob), PAGE_SIZE):
+        disk.append_page(name, blob[offset:offset + PAGE_SIZE])
+
+
+# ---------------------------------------------------------------------- #
+# decoded forms (read side)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ColumnSynopsis:
+    """Decoded zone maps for one column file: arrays indexed by block."""
+
+    value_kind: int
+    mins: np.ndarray
+    maxs: np.ndarray
+    #: per-block exact distinct sets (``None`` where cardinality > limit)
+    distincts: Tuple[Optional[np.ndarray], ...]
+
+
+@dataclass(frozen=True)
+class _HeapColumn:
+    value_kind: int
+    mins: np.ndarray
+    maxs: np.ndarray
+
+
+@dataclass(frozen=True)
+class HeapSynopsis:
+    """Decoded zone maps for one heap file: per-page bounds per column."""
+
+    num_pages: int
+    columns: Dict[str, _HeapColumn]
+
+
+def _decode_column_blob(blob: bytes) -> ColumnSynopsis:
+    if blob[:4] != _MAGIC or blob[4] != _KIND_COLUMN:
+        raise ValueError("not a column synopsis blob")
+    vk = blob[5]
+    width, n = struct.unpack_from("<HI", blob, 6)
+    offset = 12
+    if vk == _VK_INT:
+        mins = np.frombuffer(blob, np.int64, n, offset)
+        offset += 8 * n
+        maxs = np.frombuffer(blob, np.int64, n, offset)
+        offset += 8 * n
+        distincts: List[Optional[np.ndarray]] = []
+        for _ in range(n):
+            (count,) = struct.unpack_from("<H", blob, offset)
+            offset += 2
+            if count == _NO_DISTINCT:
+                distincts.append(None)
+            else:
+                distincts.append(np.frombuffer(blob, np.int64, count, offset))
+                offset += 8 * count
+    else:
+        mins = np.frombuffer(blob, f"S{width}", n, offset)
+        offset += width * n
+        maxs = np.frombuffer(blob, f"S{width}", n, offset)
+        distincts = [None] * n
+    return ColumnSynopsis(vk, mins, maxs, tuple(distincts))
+
+
+def _decode_heap_blob(blob: bytes) -> HeapSynopsis:
+    if blob[:4] != _MAGIC or blob[4] != _KIND_HEAP:
+        raise ValueError("not a heap synopsis blob")
+    num_pages, num_columns = struct.unpack_from("<IH", blob, 6)
+    offset = 12
+    columns: Dict[str, _HeapColumn] = {}
+    for _ in range(num_columns):
+        (name_len,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        name = blob[offset:offset + name_len].decode("ascii")
+        offset += name_len
+        kind = blob[offset]
+        (width,) = struct.unpack_from("<H", blob, offset + 1)
+        offset += 3
+        dtype = np.dtype(np.int64) if kind == _VK_INT else np.dtype(f"S{width}")
+        mins = np.frombuffer(blob, dtype, num_pages, offset)
+        offset += dtype.itemsize * num_pages
+        maxs = np.frombuffer(blob, dtype, num_pages, offset)
+        offset += dtype.itemsize * num_pages
+        columns[name] = _HeapColumn(kind, mins, maxs)
+    return HeapSynopsis(num_pages, columns)
+
+
+def _read_verified_blob(disk, name: str):
+    """Return ``(cache_key, blob-or-None)`` for a sidecar file.
+
+    The key is the tuple of *computed* CRCs over the stored page images,
+    so any mutation of the sidecar — corruption or rebuild — changes the
+    key and invalidates cached decodes.  A page whose computed CRC
+    disagrees with the write-time map yields ``blob=None`` after a
+    :class:`SynopsisWarning`.
+    """
+    f = disk.file(name)
+    computed = tuple(page_checksum(payload) for payload in f.pages)
+    for page_no, crc in enumerate(computed):
+        if crc != disk.expected_checksum(name, page_no) \
+                or disk.is_quarantined(name, page_no):
+            warnings.warn(SynopsisWarning(
+                f"synopsis {name!r} page {page_no} fails verification; "
+                "scans fall back to reading every block"), stacklevel=4)
+            return computed, None
+    return computed, b"".join(f.pages)
+
+
+def _load(owner, disk, data_name: str, decoder):
+    name = sidecar_name(data_name)
+    if not disk.exists(name):
+        return None
+    key, blob = _read_verified_blob(disk, name)
+    cached = getattr(owner, "_zm_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    synopsis = None
+    if blob is not None:
+        try:
+            synopsis = decoder(blob)
+        except Exception:
+            warnings.warn(SynopsisWarning(
+                f"synopsis {name!r} is undecodable; scans fall back to "
+                "reading every block"), stacklevel=3)
+    owner._zm_cache = (key, synopsis)
+    return synopsis
+
+
+def load_column_synopsis(colfile) -> Optional[ColumnSynopsis]:
+    """Decoded sidecar for a :class:`ColumnFile`, or ``None`` (missing or
+    corrupt — the caller scans every block).  Consultation is modeled as
+    a metadata lookup: no I/O counters move; the decode is cached on the
+    file object keyed by the sidecar's page CRCs."""
+    return _load(colfile, colfile.disk, colfile.name, _decode_column_blob)
+
+
+def load_heap_synopsis(heap) -> Optional[HeapSynopsis]:
+    """Decoded sidecar for a :class:`HeapFile`, or ``None``."""
+    return _load(heap, heap.disk, heap.name, _decode_heap_blob)
+
+
+# ---------------------------------------------------------------------- #
+# pruning (read side)
+# ---------------------------------------------------------------------- #
+def _compatible(synopsis_kind: int, sample) -> bool:
+    if synopsis_kind == _VK_INT:
+        return isinstance(sample, (int, np.integer))
+    return isinstance(sample, (bytes, np.bytes_))
+
+
+def prune_blocks(synopsis: ColumnSynopsis, first: int, last: int,
+                 bounds: Optional[Tuple] = None,
+                 needles: Optional[np.ndarray] = None
+                 ) -> Optional[np.ndarray]:
+    """Survivor mask over blocks ``first..last`` (inclusive), or ``None``
+    when the synopsis cannot be applied (value-domain mismatch).
+
+    ``bounds`` is an inclusive ``(lo, hi)`` range; ``needles`` a sorted
+    array of sought values.  Exactly one must be given.  A ``True`` entry
+    means the block *may* contain qualifying values and must be read.
+    """
+    mins = synopsis.mins[first:last + 1]
+    maxs = synopsis.maxs[first:last + 1]
+    if bounds is not None:
+        lo, hi = bounds
+        if not (_compatible(synopsis.value_kind, lo)
+                and _compatible(synopsis.value_kind, hi)):
+            return None
+        mask = ~((maxs < lo) | (mins > hi))
+    else:
+        if len(needles) == 0:
+            return np.zeros(last - first + 1, bool)
+        if not _compatible(synopsis.value_kind, needles[0]):
+            return None
+        # smallest needle >= block min; the block overlaps the needle set
+        # iff that needle also sits at or below the block max
+        idx = np.searchsorted(needles, mins)
+        clipped = np.minimum(idx, len(needles) - 1)
+        mask = (idx < len(needles)) & (needles[clipped] <= maxs)
+    # exact refinement where a block recorded its full distinct set
+    for i in np.flatnonzero(mask):
+        distinct = synopsis.distincts[first + i]
+        if distinct is None:
+            continue
+        if bounds is not None:
+            hit = bool(((distinct >= bounds[0])
+                        & (distinct <= bounds[1])).any())
+        else:
+            left = np.searchsorted(needles, distinct)
+            inside = np.minimum(left, len(needles) - 1)
+            hit = bool(((left < len(needles))
+                        & (needles[inside] == distinct)).any())
+        if not hit:
+            mask[i] = False
+    return mask
+
+
+def _encode_literal(kind: int, value):
+    """Coerce a predicate literal into the synopsis value domain, or
+    ``None`` when it cannot represent it."""
+    if kind == _VK_INT:
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        return None
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("ascii")
+    return None
+
+
+def _pred_page_mask(column: _HeapColumn, pred) -> Optional[np.ndarray]:
+    mins, maxs = column.mins, column.maxs
+    if isinstance(pred, Comparison):
+        value = _encode_literal(column.value_kind, pred.value)
+        if value is None:
+            return None
+        if pred.op is CompareOp.EQ:
+            return (mins <= value) & (maxs >= value)
+        if pred.op is CompareOp.LT:
+            return mins < value
+        if pred.op is CompareOp.LE:
+            return mins <= value
+        if pred.op is CompareOp.GT:
+            return maxs > value
+        if pred.op is CompareOp.GE:
+            return maxs >= value
+        return None
+    if isinstance(pred, RangePredicate):
+        lo = _encode_literal(column.value_kind, pred.low)
+        hi = _encode_literal(column.value_kind, pred.high)
+        if lo is None or hi is None:
+            return None
+        return ~((maxs < lo) | (mins > hi))
+    if isinstance(pred, InSet):
+        values = [_encode_literal(column.value_kind, v) for v in pred.values]
+        if not values or any(v is None for v in values):
+            return None
+        needles = np.sort(np.asarray(values))
+        idx = np.searchsorted(needles, mins)
+        clipped = np.minimum(idx, len(needles) - 1)
+        return (idx < len(needles)) & (needles[clipped] <= maxs)
+    return None
+
+
+def heap_page_mask(synopsis: HeapSynopsis,
+                   predicates: Sequence) -> np.ndarray:
+    """AND of per-predicate page masks; pages where every predicate may
+    match.  Predicates the synopsis cannot evaluate prune nothing."""
+    mask = np.ones(synopsis.num_pages, bool)
+    for pred in predicates:
+        column = synopsis.columns.get(pred.column)
+        if column is None:
+            continue
+        pred_mask = _pred_page_mask(column, pred)
+        if pred_mask is not None:
+            mask &= pred_mask
+    return mask
+
+
+def mask_runs(mask: np.ndarray, base: int = 0) -> List[Tuple[int, int]]:
+    """Surviving index runs as inclusive ``(first, last)`` pairs, offset
+    by ``base`` — the unit of sequential I/O after pruning."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    return [(base + int(idx[s]), base + int(idx[e]))
+            for s, e in zip(starts, ends)]
+
+
+__all__ = [
+    "SIDECAR_SUFFIX", "MAX_DISTINCT", "SynopsisWarning", "sidecar_name",
+    "is_sidecar", "ColumnSynopsisBuilder", "heap_synopsis_blob",
+    "write_sidecar", "ColumnSynopsis", "HeapSynopsis",
+    "load_column_synopsis", "load_heap_synopsis", "prune_blocks",
+    "heap_page_mask", "mask_runs",
+]

@@ -9,6 +9,13 @@
 # contract: the on-mode never reads more pages than the off-mode, and
 # the selective Q1.x scans read strictly fewer.
 #
+# Finally benchmarks/bench_resilience.py --check asserts the service
+# resilience contract: under the persistent-corruption fault profile,
+# circuit breakers + degraded serving strictly reduce the error rate
+# and strictly raise availability, degraded answers match the healthy
+# engine's rows, and a fault-free service ledger stays byte-identical
+# to a direct engine call.
+#
 # Usage:  sh benchmarks/smoke_baseline.sh  (from the repo root)
 set -e
 
@@ -26,4 +33,5 @@ for MODE in off on; do
 done
 
 PYTHONPATH=src python benchmarks/bench_zonemaps.py --check --sf "$SF"
-echo "smoke_baseline: OK (sf $SF, zone maps off+on)"
+PYTHONPATH=src python benchmarks/bench_resilience.py --check --sf "$SF"
+echo "smoke_baseline: OK (sf $SF, zone maps off+on, resilience check)"

@@ -82,7 +82,8 @@ def main(argv=None) -> int:
                              "(default: stdout)")
     parser.add_argument("--fault-profile", default=None,
                         help="inject faults from this seeded profile "
-                             "(transient|bitflip|torn|mixed); queries "
+                             "(transient|bitflip|torn|mixed|persistent, "
+                             "or 'list' to print them all); queries "
                              "retry, recover, or fail with typed errors")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for --fault-profile (default 0)")
@@ -120,6 +121,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    if args.fault_profile == "list":
+        from ..simio.faults import PROFILES, PROFILE_NOTES
+        for name in sorted(PROFILES):
+            print(f"{name:12s} {PROFILE_NOTES.get(name, '')}")
+        return 0
 
     if args.check_baseline:
         return _run_check_baseline(parser, args)

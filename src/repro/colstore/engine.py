@@ -195,6 +195,7 @@ class CStore:
         config: ExecutionConfig = ExecutionConfig.baseline(),
         level: Optional[CompressionLevel] = None,
         cold_pool: bool = True,
+        cancellation=None,
     ) -> ColumnStoreRun:
         """Run ``query`` under ``config`` on a fresh ledger.
 
@@ -203,6 +204,10 @@ class CStore:
         keeps dictionary codes but no further compression).
         ``cold_pool=False`` keeps the pool warm across runs (the
         paper's Section 6.1 measurement protocol).
+        ``cancellation`` installs a cooperative
+        :class:`~repro.serve.resilience.CancellationToken` for the run:
+        page and morsel boundaries check it, and an expired deadline or
+        budget surfaces as :class:`~repro.errors.QueryCancelledError`.
 
         Degrades gracefully under persistent corruption: when a read
         hits a quarantined/corrupt page of a projection and another
@@ -214,30 +219,39 @@ class CStore:
         """
         forbidden: set = set()
         recoveries = 0
-        while True:
-            stats = QueryStats()
-            self.disk.stats = stats
-            # cold pool per query: order-independent, deterministic ledgers
-            if cold_pool:
-                self.pool.clear()
-            else:
-                self.disk.reset_head()
-            tracer = Tracer(stats, self.cost_model)
-            planner = ColumnPlanner(self._context(forbidden), config, level,
-                                    tracer=tracer)
-            try:
-                result = planner.run(query)
-            except ChecksumError as error:
-                forbidden, recoveries = self._plan_recovery(
-                    error, forbidden, recoveries)
-                continue
-            stats.recoveries += recoveries
-            # the span tree is verified to sum exactly to the flat ledger
-            trace = tracer.finish(stats)
-            return ColumnStoreRun(
-                result, stats, self.cost_model.cost(stats), trace=trace,
-                survivors=getattr(planner, "last_positions", None),
-                projection_name=getattr(planner, "last_projection", None))
+        saved_cancellation = self.disk.cancellation
+        if cancellation is not None:
+            self.disk.cancellation = cancellation
+        try:
+            while True:
+                stats = QueryStats()
+                self.disk.stats = stats
+                # cold pool per query: order-independent, deterministic
+                # ledgers
+                if cold_pool:
+                    self.pool.clear()
+                else:
+                    self.disk.reset_head()
+                tracer = Tracer(stats, self.cost_model)
+                planner = ColumnPlanner(self._context(forbidden), config,
+                                        level, tracer=tracer)
+                try:
+                    result = planner.run(query)
+                except ChecksumError as error:
+                    forbidden, recoveries = self._plan_recovery(
+                        error, forbidden, recoveries)
+                    continue
+                stats.recoveries += recoveries
+                # the span tree is verified to sum exactly to the flat
+                # ledger
+                trace = tracer.finish(stats)
+                return ColumnStoreRun(
+                    result, stats, self.cost_model.cost(stats), trace=trace,
+                    survivors=getattr(planner, "last_positions", None),
+                    projection_name=getattr(planner, "last_projection",
+                                            None))
+        finally:
+            self.disk.cancellation = saved_cancellation
 
     def _plan_recovery(self, error: ChecksumError, forbidden: set,
                        recoveries: int) -> Tuple[set, int]:

@@ -172,6 +172,12 @@ class MorselEngine:
     # ------------------------------------------------------------------ #
     def _map(self, task: Callable[..., Tuple[T, TracePool]],
              items: Sequence) -> List[T]:
+        # morsel-boundary cancellation check: a cancelled query stops
+        # before fanning out another wave of workers (workers also stop
+        # at page boundaries via the disk's own check)
+        cancellation = self.pool.disk.cancellation
+        if cancellation is not None:
+            cancellation.check(self.pool.stats)
         futures = [self._executor.submit(task, item) for item in items]
         outs: List[Tuple[T, TracePool]] = []
         first_error: Optional[ReproError] = None
@@ -203,6 +209,10 @@ class MorselEngine:
     def _map_compute(self, task: Callable[[QueryStats, T], object],
                      items: Sequence[T]) -> List:
         """Barrier for CPU-only morsels (no page access to replay)."""
+        cancellation = self.pool.disk.cancellation
+        if cancellation is not None:
+            cancellation.check(self.pool.stats)
+
         def run(item: T):
             local = QueryStats()
             return task(local, item), local

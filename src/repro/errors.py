@@ -121,17 +121,57 @@ class BenchmarkError(ReproError):
     """The benchmark harness was misconfigured or a run failed."""
 
 
-class ServiceError(ReproError):
+class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` layer."""
 
 
-class AdmissionError(ServiceError):
+#: Backwards-compatible alias — the serve layer's base error was named
+#: ``ServiceError`` before the resilience work regrouped the family.
+ServiceError = ServeError
+
+
+class AdmissionError(ServeError):
     """A query was refused admission: the queue is full, the queue wait
     timed out, or the service is draining/closed.  The query never ran."""
 
 
-class DeadlineError(ServiceError):
+class DeadlineError(ServeError):
     """A query's deadline expired before the service could start it."""
+
+
+class ShedError(ServeError):
+    """A query was shed by the brownout policy: the service is over its
+    latency threshold and the query's priority was low enough to drop.
+    The query never ran; retrying later (or at a higher priority) is
+    legitimate."""
+
+
+class QueryCancelledError(ServeError):
+    """A query was cooperatively cancelled mid-execution.
+
+    Raised at page/morsel boundaries by the cancellation token the
+    service propagates into engine execution — when the query's wall
+    deadline passed, its simulated-seconds budget ran out, or the token
+    was cancelled explicitly.  The partial ledger up to the cancellation
+    point is preserved and still verifies."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"query cancelled: {reason}")
+        self.reason = reason
+
+
+class BreakerOpenError(ServeError):
+    """The circuit breaker for this query's (engine, table) scope is
+    open after repeated storage failures, and the query could not be
+    served degraded from the cache.  Carries the scope so clients can
+    route around it."""
+
+    def __init__(self, scope, detail: str = "") -> None:
+        message = f"circuit breaker open for scope {scope!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.scope = scope
 
 
 class TraceInvariantError(ReproError):

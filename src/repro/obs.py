@@ -22,6 +22,15 @@ so a traced run charges byte-for-byte the same flat ledger as an
 untraced one, and the morsel-parallel path keeps PR 1's bit-identical
 guarantee (worker leaves are recorded at the barrier, in morsel order).
 
+The serve layer adds its own span vocabulary on top of the engines':
+``admission-wait``, ``breaker-check``, ``cache-lookup``,
+``cache-refilter``, ``cache-admit``, ``shared-scan``, plus zero-cost
+marker leaves ``shed`` (a brownout rejection) and ``degraded-hit`` (a
+cache answer served while the scope's circuit breaker was open).
+Failed submissions finish their tracer too — the partial trace, still
+:meth:`Trace.verify`-clean, rides on the raised exception as
+``error.trace``.
+
 Span trees surface in three places:
 
 * ``EXPLAIN`` output of both engines (:func:`render_trace`);

@@ -133,6 +133,7 @@ class SystemX:
         vp_join: str = "hash",
         vp_super_tuples: bool = False,
         cold_pool: bool = True,
+        cancellation=None,
     ) -> RowStoreRun:
         """Run ``query`` under ``design`` on a fresh ledger.
 
@@ -145,7 +146,10 @@ class SystemX:
         improvements the paper's conclusion lists (built lazily on first
         use).  ``cold_pool=False`` keeps whatever the buffer pool holds
         from previous runs — the paper's warm-pool measurement protocol
-        (Section 6.1)."""
+        (Section 6.1).  ``cancellation`` installs a cooperative
+        :class:`~repro.serve.resilience.CancellationToken` checked at
+        page boundaries (typed
+        :class:`~repro.errors.QueryCancelledError`)."""
         if design not in self._built:
             raise PlanError(
                 f"design {design.value} was not built; available: "
@@ -168,6 +172,9 @@ class SystemX:
         planner = RowPlanner(self.pool, self.artifacts, self.data, spill,
                              statistics=self.statistics, tracer=tracer,
                              zone_maps=self.zone_maps)
+        saved_cancellation = self.disk.cancellation
+        if cancellation is not None:
+            self.disk.cancellation = cancellation
         try:
             result = planner.run(query, design,
                                  prune_partitions=prune_partitions,
@@ -181,6 +188,8 @@ class SystemX:
                 error.file, error.page_no, error.disk_no,
                 detail="row-store artifacts have no redundant copy",
             ) from error
+        finally:
+            self.disk.cancellation = saved_cancellation
         trace = tracer.finish(stats)
         return RowStoreRun(result, stats, self.cost_model.cost(stats),
                            trace=trace)

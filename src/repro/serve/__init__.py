@@ -14,12 +14,27 @@ flights.  This package puts a service in front of both engines:
   implies the requested one) by re-filtering cached positions instead of
   rescanning;
 * :class:`~repro.serve.sharing.ScanSharing` — batches queries aimed at
-  the same projection into one scan per admission wave.
+  the same projection into one scan per admission wave;
+* :mod:`~repro.serve.resilience` — per-scope circuit breakers on a
+  deterministic simulated clock, cooperative cancellation tokens for
+  deadline propagation, and the primitives behind priority-aware load
+  shedding and degraded (cache-only) serving.
 
-See ``docs/serving.md`` for the admission, keying, and subsumption rules.
+See ``docs/serving.md`` for the admission, keying, and subsumption
+rules, and ``docs/robustness.md`` ("service resilience") for breakers,
+shedding, and degraded-mode honesty.
 """
 
-from ..errors import AdmissionError, DeadlineError, ServiceError
+from ..errors import (
+    AdmissionError,
+    BreakerOpenError,
+    DeadlineError,
+    QueryCancelledError,
+    ServeError,
+    ServiceError,
+    ShedError,
+)
+from .resilience import BreakerBoard, CancellationToken, ServiceClock
 from .semcache import SemanticCache
 from .service import QueryService, ServiceConfig, ServiceRun
 from .session import Session
@@ -30,7 +45,14 @@ __all__ = [
     "ServiceRun",
     "Session",
     "SemanticCache",
+    "ServiceClock",
+    "CancellationToken",
+    "BreakerBoard",
+    "ServeError",
     "ServiceError",
     "AdmissionError",
     "DeadlineError",
+    "ShedError",
+    "QueryCancelledError",
+    "BreakerOpenError",
 ]

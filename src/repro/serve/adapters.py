@@ -148,13 +148,15 @@ class ColumnStoreAdapter:
         return session.config.late_materialization
 
     def execute(self, query: StarQuery, session: Session,
-                warm: bool = False):
+                warm: bool = False, cancellation=None):
         return self.engine.execute(query, session.config, session.level,
-                                   cold_pool=not warm)
+                                   cold_pool=not warm,
+                                   cancellation=cancellation)
 
     def execute_recording(self, query: StarQuery, session: Session,
-                          warm: bool = False):
-        run = self.execute(query, session, warm=warm)
+                          warm: bool = False, cancellation=None):
+        run = self.execute(query, session, warm=warm,
+                           cancellation=cancellation)
         payload = None
         if run.survivors is not None and run.projection_name is not None:
             payload = CsPositions(run.projection_name, self.level(session),
@@ -341,9 +343,10 @@ class RowStoreAdapter:
         return session.design is DesignKind.TRADITIONAL
 
     def execute(self, query: StarQuery, session: Session,
-                warm: bool = False):
+                warm: bool = False, cancellation=None):
         return self.engine.execute(query, session.design,
-                                   cold_pool=not warm)
+                                   cold_pool=not warm,
+                                   cancellation=cancellation)
 
     # -------------------------------------------------------------- #
     def _ensure_unpartitioned_heap(self) -> None:
@@ -360,7 +363,7 @@ class RowStoreAdapter:
             engine.disk.stats = saved
 
     def execute_recording(self, query: StarQuery, session: Session,
-                          warm: bool = False):
+                          warm: bool = False, cancellation=None):
         """A traditional-plan run that also records surviving rids.
 
         Recording scans the unpartitioned fact heap (rids must address
@@ -370,6 +373,9 @@ class RowStoreAdapter:
         self._ensure_unpartitioned_heap()
         stats = QueryStats()
         engine.disk.stats = stats
+        saved_cancellation = engine.disk.cancellation
+        if cancellation is not None:
+            engine.disk.cancellation = cancellation
         if warm:
             engine.disk.reset_head()
         else:
@@ -411,6 +417,8 @@ class RowStoreAdapter:
                 error.file, error.page_no, error.disk_no,
                 detail="row-store artifacts have no redundant copy",
             ) from error
+        finally:
+            engine.disk.cancellation = saved_cancellation
         trace = tracer.finish(stats)
         run = RowStoreRun(result, stats, engine.cost_model.cost(stats),
                           trace=trace)

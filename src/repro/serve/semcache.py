@@ -350,7 +350,7 @@ class SemanticCache:
         self,
         scope: Tuple,
         requested: PredicateSignature,
-        keyset_fn: Callable[[str], np.ndarray],
+        keyset_fn: Optional[Callable[[str], np.ndarray]],
         dimensions: Optional[FrozenSet[str]] = None,
     ) -> Optional[PositionEntry]:
         """The first position entry in ``scope`` whose predicates imply
@@ -359,10 +359,13 @@ class SemanticCache:
         ``keyset_fn(dim)`` must return the *requested* query's surviving
         keys for dimension ``dim`` (sorted int64); it is only called for
         dimensions symbolic reasoning could not decide, and any I/O it
-        performs is the caller's to charge.  ``dimensions`` names the
-        dimensions the requested query joins: a key-set check against a
-        dimension outside it cannot be evaluated, so those candidates
-        are skipped."""
+        performs is the caller's to charge.  ``keyset_fn=None`` forbids
+        key-set probes entirely: only *symbolically proven* entries (no
+        gaps) match — degraded-mode serving uses this so a cache answer
+        never depends on reading possibly-corrupt dimension columns.
+        ``dimensions`` names the dimensions the requested query joins: a
+        key-set check against a dimension outside it cannot be
+        evaluated, so those candidates are skipped."""
         with self._lock:
             candidates = [e for e in self._entries.values()
                           if isinstance(e, PositionEntry)
@@ -372,6 +375,8 @@ class SemanticCache:
         for entry in candidates:
             gaps = subsumption_gaps(requested, entry.signature)
             if gaps is None:
+                continue
+            if keyset_fn is None and gaps:
                 continue
             if dimensions is not None \
                     and not set(gaps) <= set(dimensions):

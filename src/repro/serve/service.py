@@ -11,17 +11,33 @@ and/or one :class:`~repro.rowstore.engine.SystemX`.  Clients hold
    :class:`~repro.errors.AdmissionError` / ``DeadlineError``;
 2. **looks up** — the semantic cache first (exact result hits, then
    subsumed position entries re-filtered into fresh results);
-3. **executes** — on a miss, under the target engine's lock, optionally
+3. **protects** — a per-(engine, fact-table) circuit breaker opens
+   after repeated persistent faults; while open, queries are answered
+   **degraded** from the cache when honesty allows (exact hits, or
+   symbolically-proven subsumption — never key-set guesses) and refused
+   with typed :class:`~repro.errors.BreakerOpenError` otherwise.
+   Deadlines propagate into engine execution as cooperative
+   cancellation tokens checked at page/morsel boundaries, and an
+   optional brownout policy sheds low-priority queued work
+   (:class:`~repro.errors.ShedError`) when estimated wait exceeds a
+   threshold;
+4. **executes** — on a miss, under the target engine's lock, optionally
    batching same-projection queries into one shared-scan wave;
-4. **accounts** — every step runs under the requesting query's own
+5. **accounts** — every step runs under the requesting query's own
    :class:`~repro.simio.stats.QueryStats` ledger and span tracer
-   (``admission-wait``, ``cache-lookup``, ``cache-refilter``,
-   ``cache-admit``, ``shared-scan``), and the finished trace is verified
-   to sum exactly to the flat ledger.  With the cache disabled, a
-   service run's ledger is byte-identical to a direct engine call.
+   (``admission-wait``, ``breaker-check``, ``cache-lookup``,
+   ``cache-refilter``, ``cache-admit``, ``shared-scan``, plus ``shed``
+   and ``degraded-hit`` markers), and the finished trace is verified
+   to sum exactly to the flat ledger — on error paths too, where the
+   partial trace rides on the raised exception as ``error.trace``.
+   With the cache disabled and no faults, a service run's ledger is
+   byte-identical to a direct engine call.
 
-``drain()`` stops admitting and waits for in-flight queries to finish;
-the service is also a context manager.
+All breaker/brownout timing runs on a :class:`ServiceClock` of
+accumulated *simulated* seconds, so resilience behaviour is exactly
+reproducible for a given submission order.  ``drain()`` stops admitting
+and waits for in-flight queries to finish; the service is also a
+context manager.
 """
 
 from __future__ import annotations
@@ -32,15 +48,38 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import AdmissionError, DeadlineError, PlanError, ReproError
+from ..errors import (
+    AdmissionError,
+    BreakerOpenError,
+    ChecksumError,
+    CorruptPageError,
+    DeadlineError,
+    PlanError,
+    QueryCancelledError,
+    ReproError,
+    ShedError,
+    TransientIOError,
+)
 from ..obs import Trace, Tracer
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.stats import CostBreakdown, CostModel, PAPER_2008, QueryStats
 from .adapters import ColumnStoreAdapter, RowStoreAdapter
+from .resilience import (
+    BreakerBoard,
+    CancellationToken,
+    HALF_OPEN,
+    OPEN,
+    ServiceClock,
+)
 from .semcache import SemanticCache, normalize_query
 from .session import Session
 from .sharing import ScanSharing
+
+#: engine failures that count toward a scope's circuit breaker: the
+#: storage stack's persistent verdicts plus cooperative timeouts
+BREAKER_FAULTS = (CorruptPageError, ChecksumError, TransientIOError,
+                  QueryCancelledError)
 
 
 @dataclass
@@ -55,6 +94,14 @@ class ServiceConfig:
     cache_admit_seconds: float = 1e-3  #: cost-aware admission threshold
     shared_scans: bool = False      #: batch same-projection queries per wave
     wave_limit: int = 8             #: max queries served per shared wave
+    breakers: bool = True           #: per-scope circuit breakers on/off
+    breaker_threshold: int = 3      #: consecutive faults before opening
+    breaker_cooldown: float = 0.05  #: simulated seconds open before half-open
+    degraded_serving: bool = True   #: answer from cache while breaker is open
+    shed_threshold: Optional[float] = None  #: brownout: est. wait (sim s)
+    deadline: Optional[float] = None        #: default wall deadline per query
+    sim_deadline: Optional[float] = None    #: default simulated-seconds budget
+    failure_clock_seconds: float = 1e-3     #: clock charge per failed query
 
 
 @dataclass
@@ -75,6 +122,7 @@ class ServiceRun:
     trace: Trace
     wall_seconds: float
     shared: bool = False            #: served as part of a shared-scan wave
+    degraded: bool = False          #: answered from cache under an open breaker
 
     @property
     def seconds(self) -> float:
@@ -82,20 +130,46 @@ class ServiceRun:
         return self.cost.total_seconds
 
 
+class _Waiter:
+    """One queued admission request (priority + shed flag)."""
+
+    __slots__ = ("priority", "shed")
+
+    def __init__(self, priority: int) -> None:
+        self.priority = priority
+        self.shed = False
+
+
 class AdmissionController:
-    """Bounded FIFO admission with queue timeout and deadlines."""
+    """Bounded FIFO admission with queue timeout, deadlines, and
+    priority-aware load shedding.
+
+    When ``shed_threshold`` is set (simulated seconds), a low-priority
+    arrival (``priority <= 0``) is shed with :class:`ShedError` as soon
+    as the *estimated* wait — latency EWMA times backlog over the
+    in-flight limit — exceeds the threshold (a brownout: the service
+    keeps serving high-priority work at full quality instead of
+    degrading everyone).  Independently, when the queue is full, a
+    higher-priority arrival displaces the lowest-priority waiter rather
+    than being refused."""
+
+    #: weight of the newest observation in the latency EWMA
+    EWMA_ALPHA = 0.2
 
     def __init__(self, max_in_flight: int, queue_limit: int,
-                 queue_timeout: Optional[float]) -> None:
+                 queue_timeout: Optional[float],
+                 shed_threshold: Optional[float] = None) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         self.max_in_flight = max_in_flight
         self.queue_limit = queue_limit
         self.queue_timeout = queue_timeout
+        self.shed_threshold = shed_threshold
         self._cond = threading.Condition()
-        self._waiters: List[object] = []
+        self._waiters: List[_Waiter] = []
         self._in_flight = 0
         self._draining = False
+        self._latency_ewma: Optional[float] = None
 
     @property
     def in_flight(self) -> int:
@@ -107,31 +181,86 @@ class AdmissionController:
         with self._cond:
             return len(self._waiters)
 
+    @property
+    def latency_ewma(self) -> float:
+        """Smoothed simulated seconds per completed query."""
+        with self._cond:
+            return self._latency_ewma if self._latency_ewma is not None \
+                else 0.0
+
+    def note_latency(self, simulated_seconds: float) -> None:
+        """Feed one completed query's simulated latency into the EWMA."""
+        with self._cond:
+            if self._latency_ewma is None:
+                self._latency_ewma = simulated_seconds
+            else:
+                self._latency_ewma += self.EWMA_ALPHA * (
+                    simulated_seconds - self._latency_ewma)
+
+    def _estimated_wait(self) -> float:
+        """Expected simulated seconds before a new arrival would start
+        (lock held): backlog ahead of it, paced by the EWMA."""
+        if self._latency_ewma is None:
+            return 0.0
+        backlog = len(self._waiters) + self._in_flight
+        return self._latency_ewma * backlog / self.max_in_flight
+
+    def _shed_candidate(self) -> Optional[_Waiter]:
+        """The waiter a full queue would sacrifice: the latest-queued
+        among the lowest-priority (lock held)."""
+        best = None
+        for waiter in self._waiters:
+            if waiter.shed:
+                continue
+            if best is None or waiter.priority <= best.priority:
+                best = waiter
+        return best
+
     def acquire(self, timeout: Optional[float] = None,
-                deadline_at: Optional[float] = None) -> None:
+                deadline_at: Optional[float] = None,
+                priority: int = 0) -> None:
         """Block until admitted (FIFO).  Raises :class:`AdmissionError`
         when the queue is full, the wait exceeds ``timeout``, or the
         service is draining; :class:`DeadlineError` when ``deadline_at``
-        (a ``time.monotonic`` instant) passes first."""
+        (a ``time.monotonic`` instant) passes first; :class:`ShedError`
+        when brownout policy or a higher-priority arrival sheds it."""
         if timeout is None:
             timeout = self.queue_timeout
-        token = object()
+        token = _Waiter(priority)
         with self._cond:
             if self._draining:
                 raise AdmissionError(
                     "service is draining; not accepting new queries")
+            if self.shed_threshold is not None and priority <= 0:
+                estimated = self._estimated_wait()
+                if estimated > self.shed_threshold:
+                    raise ShedError(
+                        f"brownout: estimated wait {estimated:.4f}s "
+                        f"(simulated) exceeds shed threshold "
+                        f"{self.shed_threshold:g}s for priority {priority}")
             # the limit bounds *waiting* requests; one that can start
             # immediately only passes through the list, it never queues
             would_wait = bool(self._waiters) \
                 or self._in_flight >= self.max_in_flight
             if would_wait and len(self._waiters) >= self.queue_limit:
-                raise AdmissionError(
-                    f"admission queue is full "
-                    f"({self.queue_limit} queries already waiting)")
+                victim = self._shed_candidate()
+                if victim is not None and victim.priority < priority:
+                    # displace the least important waiter instead of
+                    # refusing the more important arrival
+                    victim.shed = True
+                    self._cond.notify_all()
+                else:
+                    raise AdmissionError(
+                        f"admission queue is full "
+                        f"({self.queue_limit} queries already waiting)")
             self._waiters.append(token)
             started = time.monotonic()
             try:
                 while True:
+                    if token.shed:
+                        raise ShedError(
+                            "shed from the admission queue by a "
+                            "higher-priority arrival")
                     if self._draining:
                         raise AdmissionError(
                             "service is draining; not accepting new queries")
@@ -194,6 +323,13 @@ class ServiceStats:
     subsumption_hits: int = 0
     shared_waves: int = 0
     shared_followers: int = 0
+    shed: int = 0                   #: brownout / displacement sheds
+    cancelled: int = 0              #: cooperative mid-execution cancels
+    degraded_hits: int = 0          #: cache answers under an open breaker
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    breaker_rejections: int = 0     #: open-breaker refusals (no cache answer)
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -217,6 +353,13 @@ class ServiceStats:
                 "subsumption_hits": self.subsumption_hits,
                 "shared_waves": self.shared_waves,
                 "shared_followers": self.shared_followers,
+                "shed": self.shed,
+                "cancelled": self.cancelled,
+                "degraded_hits": self.degraded_hits,
+                "breaker_opens": self.breaker_opens,
+                "breaker_half_opens": self.breaker_half_opens,
+                "breaker_closes": self.breaker_closes,
+                "breaker_rejections": self.breaker_rejections,
                 "simulated_seconds": self.simulated_seconds,
                 "wall_seconds": self.wall_seconds,
             }
@@ -227,13 +370,15 @@ class _Request:
 
     def __init__(self, query: StarQuery, session: Session, use_cache: bool,
                  stats: QueryStats, tracer: Tracer,
-                 deadline_at: Optional[float]) -> None:
+                 deadline_at: Optional[float],
+                 token: Optional[CancellationToken] = None) -> None:
         self.query = query
         self.session = session
         self.use_cache = use_cache
         self.stats = stats
         self.tracer = tracer
         self.deadline_at = deadline_at
+        self.token = token
         self.done = False
         self.run: Optional[ServiceRun] = None
         self.error: Optional[BaseException] = None
@@ -268,9 +413,17 @@ class QueryService:
             admit_seconds=self.config.cache_admit_seconds)
         self.admission = AdmissionController(
             self.config.max_in_flight, self.config.queue_limit,
-            self.config.queue_timeout)
+            self.config.queue_timeout,
+            shed_threshold=self.config.shed_threshold)
         self.sharing = ScanSharing()
         self.stats = ServiceStats()
+        #: deterministic resilience clock: accumulated simulated seconds
+        self.clock = ServiceClock()
+        self.breakers: Optional[BreakerBoard] = None
+        if self.config.breakers:
+            self.breakers = BreakerBoard(
+                self.config.breaker_threshold, self.config.breaker_cooldown,
+                counter=self.stats.note)
         self.sessions: Dict[str, Session] = {}
         self._session_seq = 0
         self._session_lock = threading.Lock()
@@ -318,15 +471,27 @@ class QueryService:
         return self.cache.invalidate(table)
 
     def serve_stats(self) -> Dict:
-        """One dict for dashboards: service, cache, admission, sessions."""
+        """One dict for dashboards: service, cache, admission,
+        resilience, sessions."""
+        snap = self.stats.snapshot()
         return {
-            "service": self.stats.snapshot(),
+            "service": snap,
             "cache": self.cache.snapshot(),
             "admission": {
                 "max_in_flight": self.admission.max_in_flight,
                 "queue_limit": self.admission.queue_limit,
                 "in_flight": self.admission.in_flight,
                 "queued": self.admission.queued,
+                "latency_ewma": self.admission.latency_ewma,
+            },
+            "resilience": {
+                "breakers": self.breakers.states()
+                if self.breakers is not None else {},
+                "clock_seconds": self.clock.now(),
+                "shed": snap["shed"],
+                "degraded_hits": snap["degraded_hits"],
+                "cancelled": snap["cancelled"],
+                "breaker_rejections": snap["breaker_rejections"],
             },
             "sessions": {
                 name: vars(s.stats).copy()
@@ -340,13 +505,18 @@ class QueryService:
     def submit(self, query: StarQuery, session: Optional[Session] = None,
                cached: Optional[bool] = None,
                timeout: Optional[float] = None,
-               deadline: Optional[float] = None) -> ServiceRun:
+               deadline: Optional[float] = None,
+               sim_deadline: Optional[float] = None,
+               priority: Optional[int] = None) -> ServiceRun:
         """Serve one query for ``session`` (blocking).
 
         ``cached=False`` bypasses the cache for this call (the honest-
         accounting escape hatch); ``timeout`` caps the admission-queue
-        wait; ``deadline`` caps total wall time before execution starts.
-        """
+        wait; ``deadline`` caps total wall time — in the queue *and*,
+        via a cooperative cancellation token, inside engine execution;
+        ``sim_deadline`` caps the query's priced *simulated* seconds the
+        same cooperative way; ``priority`` overrides the session's
+        brownout class (``<= 0`` is sheddable)."""
         if self._closed:
             raise AdmissionError("service is closed")
         if session is None:
@@ -357,6 +527,12 @@ class QueryService:
                 f"engine {session.engine!r} is not attached to this service")
         use_cache = self.config.cache and session.cached \
             if cached is None else bool(cached) and self.config.cache
+        if deadline is None:
+            deadline = self.config.deadline
+        if sim_deadline is None:
+            sim_deadline = self.config.sim_deadline
+        if priority is None:
+            priority = session.priority
         session.note_submitted()
         self.stats.note(submitted=1)
 
@@ -364,19 +540,33 @@ class QueryService:
         tracer = Tracer(stats, self.cost_model, root_name="service")
         deadline_at = None if deadline is None \
             else time.monotonic() + deadline
+        token = None
+        if deadline_at is not None or sim_deadline is not None:
+            token = CancellationToken(deadline_at=deadline_at,
+                                      sim_budget=sim_deadline,
+                                      cost_model=self.cost_model)
         request = _Request(query, session, use_cache, stats, tracer,
-                           deadline_at)
+                           deadline_at, token=token)
         try:
             with tracer.span("admission-wait"):
                 self.admission.acquire(timeout=timeout,
-                                       deadline_at=deadline_at)
-        except DeadlineError:
+                                       deadline_at=deadline_at,
+                                       priority=priority)
+        except DeadlineError as error:
             self.stats.note(rejected=1, deadline_misses=1)
             session.note_error()
+            self._attach_trace(error, request)
             raise
-        except AdmissionError:
+        except ShedError as error:
+            self.stats.note(rejected=1, shed=1)
+            session.note_error()
+            tracer.leaf("shed", QueryStats())
+            self._attach_trace(error, request)
+            raise
+        except AdmissionError as error:
             self.stats.note(rejected=1)
             session.note_error()
+            self._attach_trace(error, request)
             raise
 
         share_key = None
@@ -398,19 +588,44 @@ class QueryService:
             self.admission.release()
 
         if request.error is not None:
-            self.stats.note(failed=1, deadline_misses=int(
-                isinstance(request.error, DeadlineError)))
+            error = request.error
+            # even a failed query moves the resilience clock: the work
+            # it burned, plus a fixed charge so all-failing workloads
+            # still make progress toward breaker cooldowns
+            self.clock.advance(self.cost_model.cost(stats).total_seconds
+                               + self.config.failure_clock_seconds)
+            self.stats.note(
+                failed=1,
+                deadline_misses=int(isinstance(error, DeadlineError)),
+                cancelled=int(isinstance(error, QueryCancelledError)),
+                breaker_rejections=int(isinstance(error, BreakerOpenError)))
             session.note_error()
-            raise request.error
+            self._attach_trace(error, request)
+            raise error
         run = request.run
+        self.clock.advance(run.seconds)
+        self.admission.note_latency(run.seconds)
         self.stats.note(completed=1, simulated_seconds=run.seconds,
                         wall_seconds=run.wall_seconds,
+                        degraded_hits=int(run.degraded),
                         **{{"engine": "engine_runs",
                             "cache-exact": "exact_hits",
                             "cache-refilter": "subsumption_hits",
                             }[run.source]: 1})
         session.note_result(run.source, run.seconds, run.wall_seconds)
         return run
+
+    @staticmethod
+    def _attach_trace(error: BaseException, request: _Request) -> None:
+        """Close the request's partial trace and ride it (plus its flat
+        ledger) on the raised exception — ``error.trace`` still passes
+        :meth:`Trace.verify` against ``error.stats``, so even failed
+        queries account for the work they burned."""
+        try:
+            error.trace = request.tracer.finish(request.stats)
+            error.stats = request.stats
+        except (ReproError, AttributeError):
+            pass
 
     # -------------------------------------------------------------- #
     # the serving path (engine lock held)
@@ -435,6 +650,58 @@ class QueryService:
 
     def _serve_one(self, adapter, request: _Request, shared: bool,
                    warm: bool) -> None:
+        """Gate one query through its scope's breaker, then serve it.
+
+        The breaker records at most one verdict per serve: a qualifying
+        fault (``BREAKER_FAULTS``) counts as a failure, any completed
+        engine touch (full run or re-filter) as a success, and a pure
+        result-cache hit as neither."""
+        session, engine = request.session, adapter.engine
+        tracer = request.tracer
+        breaker_scope = (session.engine, request.query.fact_table)
+        trial = False
+        if self.breakers is not None:
+            with tracer.span("breaker-check"):
+                verdict = self.breakers.admit(breaker_scope,
+                                              self.clock.now())
+            if verdict == OPEN:
+                if self.config.degraded_serving and request.use_cache \
+                        and self._serve_degraded(adapter, request, shared,
+                                                 breaker_scope):
+                    return
+                raise BreakerOpenError(
+                    breaker_scope,
+                    detail="no honest cache answer available while open")
+            trial = verdict == HALF_OPEN
+
+        saved_token = engine.disk.cancellation
+        if request.token is not None:
+            engine.disk.cancellation = request.token
+        try:
+            engine_touched = self._serve_body(adapter, request, shared,
+                                              warm)
+        except BREAKER_FAULTS:
+            if self.breakers is not None:
+                self.breakers.record_failure(breaker_scope,
+                                             self.clock.now())
+            raise
+        except BaseException:
+            # not an engine-health verdict: free a reserved trial slot
+            if trial:
+                self.breakers.abandon_trial(breaker_scope)
+            raise
+        finally:
+            engine.disk.cancellation = saved_token
+        if self.breakers is not None:
+            if engine_touched:
+                self.breakers.record_success(breaker_scope)
+            elif trial:
+                self.breakers.abandon_trial(breaker_scope)
+
+    def _serve_body(self, adapter, request: _Request, shared: bool,
+                    warm: bool) -> bool:
+        """Serve via cache/engine; returns True if the engine was
+        touched (re-filter or full run), False on a pure exact hit."""
         query, session = request.query, request.session
         stats, tracer = request.stats, request.tracer
         engine = adapter.engine
@@ -466,7 +733,7 @@ class QueryService:
             if result is not None:
                 request.run = self._finish(request, result, "cache-exact",
                                            shared)
-                return
+                return False
             if entry is not None:
                 saved = engine.disk.stats
                 engine.disk.stats = stats
@@ -477,7 +744,7 @@ class QueryService:
                     stats.cache_subsumption_hits += 1
                     request.run = self._finish(request, result,
                                                "cache-refilter", shared)
-                    return
+                    return True
                 except ReproError:
                     # a re-filter that cannot complete (e.g. the cached
                     # projection went bad) falls back to a full run
@@ -490,12 +757,26 @@ class QueryService:
         # when this execution is part of a wave
         span = tracer.span("shared-scan") if shared else nullcontext()
         with span:
-            if request.use_cache and adapter.recordable(session):
-                run, payload, key_sets = adapter.execute_recording(
-                    query, session, warm=warm)
-            else:
-                run, payload, key_sets = \
-                    adapter.execute(query, session, warm=warm), None, None
+            before = engine.disk.stats
+            try:
+                if request.use_cache and adapter.recordable(session):
+                    run, payload, key_sets = adapter.execute_recording(
+                        query, session, warm=warm)
+                else:
+                    run, payload, key_sets = \
+                        adapter.execute(query, session, warm=warm), \
+                        None, None
+            except BaseException:
+                # an aborted run still burned simulated work: the engine
+                # installed a fresh ledger for this query (identity
+                # changed), so fold its partial counts into the request
+                # ledger before the exception carries the trace out —
+                # failure-path clock advances and ``error.stats`` then
+                # account for the pages actually touched
+                partial = engine.disk.stats
+                if partial is not before and partial is not stats:
+                    stats.merge(partial)
+                raise
             stats.merge(run.stats)
             tracer.attach_span(run.trace.root)
 
@@ -516,9 +797,65 @@ class QueryService:
                         scope, normalize_query(query), payload, key_sets,
                         run.seconds, payload.nbytes)
         request.run = self._finish(request, run.result, "engine", shared)
+        return True
+
+    def _serve_degraded(self, adapter, request: _Request, shared: bool,
+                        breaker_scope: Tuple) -> bool:
+        """Answer from the cache while ``breaker_scope`` is open.
+
+        Honesty rules: an exact result hit always serves; a position
+        entry serves only when subsumption is *symbolically proven*
+        (``keyset_fn=None`` — no key-set probes, which would touch the
+        fenced-off engine's dimension columns and could themselves
+        fault).  Results are stamped ``degraded=True``; anything else
+        raises :class:`BreakerOpenError`.  The cache entry is never
+        discarded on a degraded re-filter fault — the engine is fenced
+        off, not the entry, and it may still serve other variants.
+
+        Returns True when served; False means "no cache answer" and the
+        caller raises."""
+        query, session = request.query, request.session
+        stats, tracer = request.stats, request.tracer
+        engine = adapter.engine
+        scope = adapter.scope(session)
+        entry = None
+        with tracer.span("cache-lookup"):
+            stats.cache_lookups += 1
+            result = self.cache.lookup_result(scope, query)
+            if result is not None:
+                stats.cache_exact_hits += 1
+            else:
+                entry = self.cache.find_subsuming(
+                    scope, normalize_query(query), None,
+                    dimensions=frozenset(query.joins.values()))
+                if entry is None:
+                    stats.cache_misses += 1
+        if result is not None:
+            tracer.leaf("degraded-hit", QueryStats())
+            request.run = self._finish(request, result, "cache-exact",
+                                       shared, degraded=True)
+            return True
+        if entry is None:
+            return False
+        saved = engine.disk.stats
+        engine.disk.stats = stats
+        try:
+            with tracer.span("cache-refilter"):
+                result = adapter.refilter(query, session, entry, {})
+        except ReproError as error:
+            raise BreakerOpenError(
+                breaker_scope,
+                detail=f"degraded re-filter failed: {error}") from error
+        finally:
+            engine.disk.stats = saved
+        stats.cache_subsumption_hits += 1
+        tracer.leaf("degraded-hit", QueryStats())
+        request.run = self._finish(request, result, "cache-refilter",
+                                   shared, degraded=True)
+        return True
 
     def _finish(self, request: _Request, result: ResultSet, source: str,
-                shared: bool) -> ServiceRun:
+                shared: bool, degraded: bool = False) -> ServiceRun:
         trace = request.tracer.finish(request.stats)
         return ServiceRun(
             query_name=request.query.name,
@@ -531,6 +868,7 @@ class QueryService:
             trace=trace,
             wall_seconds=time.perf_counter() - request.started,
             shared=shared,
+            degraded=degraded,
         )
 
 
@@ -539,4 +877,4 @@ def _tables_of(query: StarQuery) -> frozenset:
 
 
 __all__ = ["QueryService", "ServiceConfig", "ServiceRun", "ServiceStats",
-           "AdmissionController"]
+           "AdmissionController", "BREAKER_FAULTS"]

@@ -46,6 +46,7 @@ class Session:
         level: Optional[CompressionLevel] = None,
         design: DesignKind = DesignKind.TRADITIONAL,
         cached: bool = True,
+        priority: int = 0,
     ) -> None:
         if engine not in ("cs", "rs"):
             raise ValueError(f"unknown engine {engine!r} (expected cs or rs)")
@@ -57,16 +58,23 @@ class Session:
         self.level = level
         self.design = design
         self.cached = cached
+        #: brownout class: <= 0 is sheddable when the service is over
+        #: its latency threshold; > 0 rides out the brownout
+        self.priority = priority
         self.stats = SessionStats()
         self.closed = False
         self._lock = threading.Lock()
 
     def execute(self, query: StarQuery, cached: Optional[bool] = None,
                 timeout: Optional[float] = None,
-                deadline: Optional[float] = None):
+                deadline: Optional[float] = None,
+                sim_deadline: Optional[float] = None,
+                priority: Optional[int] = None):
         """Submit ``query`` through the owning service (blocking)."""
         return self.service.submit(query, session=self, cached=cached,
-                                   timeout=timeout, deadline=deadline)
+                                   timeout=timeout, deadline=deadline,
+                                   sim_deadline=sim_deadline,
+                                   priority=priority)
 
     def note_submitted(self) -> None:
         with self._lock:

@@ -43,7 +43,8 @@ Enter SQL (SSB dialect), an SSB query name (Q1.1 .. Q4.3), or a command:
   \\explain <query>     show both engines' plans for SQL or Qx.y
   \\verify on|off       cross-check results against the oracle
   \\cache on|off|clear  semantic result cache (default: off)
-  \\serve stats         query service + cache counters
+  \\serve stats         service, cache, and resilience counters
+                       (per-scope breaker states, sheds, degraded hits)
   \\quit                exit"""
 
 _DESIGNS = {d.value: d for d in DesignKind}
@@ -165,12 +166,17 @@ class Shell:
     def _serve_stats(self) -> str:
         stats = self.service.serve_stats()
         lines: List[str] = []
-        for section in ("service", "cache", "admission"):
+        for section in ("service", "cache", "admission", "resilience"):
             body = ", ".join(f"{key}={value}"
                              for key, value in sorted(
                                  stats[section].items())
                              if not isinstance(value, dict))
             lines.append(f"{section}: {body}")
+        breakers = stats["resilience"]["breakers"]
+        body = ", ".join(f"{scope}={state}"
+                         for scope, state in sorted(breakers.items())) \
+            or "(no scopes touched)"
+        lines.append(f"breakers: {body}")
         for name, session in sorted(stats["sessions"].items()):
             body = ", ".join(f"{key}={value}"
                              for key, value in sorted(session.items()))

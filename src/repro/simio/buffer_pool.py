@@ -128,6 +128,11 @@ class BufferPool:
 
     def read_page(self, name: str, page_no: int) -> bytes:
         """Read a page through the pool."""
+        # cooperative cancellation lands here too: buffer hits never
+        # reach the disk, but a cancelled query must still stop at the
+        # next page boundary
+        if self.disk.cancellation is not None:
+            self.disk.cancellation.check(self.stats)
         key = (name, page_no)
         cached = self._pages.get(key)
         if cached is not None:

@@ -73,6 +73,12 @@ class SimulatedDisk:
         #: optional :class:`~repro.simio.faults.FaultInjector` (duck-typed
         #: to avoid an import cycle); ``None`` means a perfect disk
         self.fault_injector = None
+        #: optional :class:`~repro.serve.resilience.CancellationToken`
+        #: (duck-typed) installed by the query service for the duration
+        #: of one engine execution; checked before every page access so
+        #: cancellation lands at page boundaries with the partial ledger
+        #: intact
+        self.cancellation = None
         #: pages fenced off after persistent checksum failure
         self._quarantined: Set[Tuple[str, int]] = set()
         # (file name, page number) of the most recent physical access, used
@@ -166,6 +172,8 @@ class SimulatedDisk:
 
     def read_page(self, name: str, page_no: int) -> bytes:
         """Read one page, charging transfer bytes and a seek if random."""
+        if self.cancellation is not None:
+            self.cancellation.check(self.stats)
         f = self.file(name)
         if not 0 <= page_no < f.num_pages:
             raise StorageError(
@@ -186,6 +194,8 @@ class SimulatedDisk:
         the buffer pool for the canonical ledger) yet must see the same
         faults a charged read would.
         """
+        if self.cancellation is not None:
+            self.cancellation.check(self.stats)
         f = self.file(name)
         if not 0 <= page_no < f.num_pages:
             raise StorageError(

@@ -187,6 +187,21 @@ PROFILES: Dict[str, Tuple[FaultPolicy, ...]] = {
     "torn": (FaultPolicy(torn_rate=0.02),),
     "mixed": (FaultPolicy(transient_rate=0.05, bitflip_rate=0.01,
                           torn_rate=0.01),),
+    # a localized dead region that never heals: every page but the first
+    # of each discount column is corrupt — the sustained-fault scenario
+    # the service's circuit breakers are built for
+    "persistent": (FaultPolicy(file_glob="*.discount", page_lo=1,
+                               bitflip_rate=1.0),),
+}
+
+#: One-line description per profile (``--fault-profile list``).
+PROFILE_NOTES: Dict[str, str] = {
+    "transient": "10% of pages fail 1-2 reads, then heal (retry path)",
+    "bitflip": "2% of pages get one flipped bit (CRC catches, quarantine)",
+    "torn": "2% of pages lose their tail half (torn-write model)",
+    "mixed": "5% transient + 1% bitflip + 1% torn, all at once",
+    "persistent": "every *.discount page past the first is corrupt, "
+                  "forever (breaker/degraded-serving scenario)",
 }
 
 
@@ -202,5 +217,5 @@ def injector_from_profile(profile: str, seed: int = 0) -> FaultInjector:
     return FaultInjector(seed=seed, policies=policies)
 
 
-__all__ = ["FaultPolicy", "FaultInjector", "PROFILES",
+__all__ = ["FaultPolicy", "FaultInjector", "PROFILES", "PROFILE_NOTES",
            "injector_from_profile"]

@@ -1,0 +1,136 @@
+"""Chaos suite: drain()/close() while faulted queries are in flight.
+
+The lifecycle contract under sustained corruption: ``drain()`` returns
+(no deadlock) even when every in-flight query is failing typed, every
+client observes either a correct result or a :class:`ReproError`
+subclass, admission slots are all released, and a closed service
+refuses new work with a typed error.
+"""
+
+import threading
+
+import pytest
+
+from repro.colstore.engine import CStore
+from repro.core.config import ExecutionConfig
+from repro.errors import AdmissionError, ReproError
+from repro.simio.faults import FaultInjector, FaultPolicy
+from repro.serve import QueryService, ServiceConfig
+from repro.ssb.queries import Q1_1, Q1_2, Q1_3, Q2_1
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SF = 0.004
+WORKER_COUNTS = (1, 4)
+ROUNDS = 3
+JOIN_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def chaos_data():
+    from repro.ssb.generator import generate
+    return generate(CHAOS_SF)
+
+
+def _faulted_store(chaos_data, seed):
+    """A column store whose quantity column is persistently corrupt on
+    every disk — Q1.* fail typed, Q2.* (no quantity) stay correct."""
+    store = CStore(chaos_data)
+    injector = FaultInjector(seed, [FaultPolicy(
+        file_glob="lineorder.*.quantity", bitflip_rate=1.0)])
+    assert injector.install(store.disk)
+    return store
+
+
+def _run_clients(service, clients, outcomes):
+    """Each client pushes ROUNDS queries (mostly faulting) and records
+    every outcome; returns the started threads."""
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index):
+        session = service.session(engine="cs",
+                                  config=ExecutionConfig.baseline())
+        barrier.wait()
+        for round_no in range(ROUNDS):
+            query = (Q1_1, Q1_2, Q1_3, Q2_1)[(index + round_no) % 4]
+            try:
+                run = session.execute(query, cached=False)
+                outcomes.append(("ok", query.name, run))
+            except ReproError as error:
+                outcomes.append(("error", query.name, error))
+            except BaseException as error:  # pragma: no cover
+                outcomes.append(("untyped", query.name, error))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    return threads
+
+
+@pytest.mark.parametrize("clients", WORKER_COUNTS)
+def test_drain_returns_with_faulted_queries_in_flight(chaos_data, clients):
+    store = _faulted_store(chaos_data, seed=303)
+    config = ServiceConfig(cache=False, max_in_flight=max(1, clients // 2),
+                           queue_timeout=JOIN_TIMEOUT)
+    service = QueryService(cstore=store, config=config)
+    outcomes = []
+    threads = _run_clients(service, clients, outcomes)
+    service.drain()  # must come back even though queries are failing
+
+    # drain() returning means nothing is queued or holding a slot
+    assert service.admission.in_flight == 0
+    assert service.admission.queued == 0
+    with pytest.raises(AdmissionError, match="draining"):
+        service.submit(Q1_1)
+
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    assert not any(thread.is_alive() for thread in threads)
+    assert len(outcomes) == clients * ROUNDS
+    assert not [o for o in outcomes if o[0] == "untyped"]
+    # the corrupt column really fired (typed) at least once
+    assert [o for o in outcomes if o[0] == "error"]
+    # every failure rode out a verifiable partial ledger
+    for _kind, _name, error in [o for o in outcomes if o[0] == "error"]:
+        if getattr(error, "trace", None) is not None:
+            error.trace.verify(error.stats)
+
+    # a drained (not closed) service can resume and serve again
+    service.admission.resume()
+    run = service.submit(Q2_1, service.session(engine="cs"), cached=False)
+    assert run.result.rows
+    service.close()
+
+
+@pytest.mark.parametrize("clients", WORKER_COUNTS)
+def test_close_rejects_new_work_and_frees_slots(chaos_data, clients):
+    store = _faulted_store(chaos_data, seed=404)
+    config = ServiceConfig(cache=False, queue_timeout=JOIN_TIMEOUT)
+    service = QueryService(cstore=store, config=config)
+    outcomes = []
+    threads = _run_clients(service, clients, outcomes)
+    service.close()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    assert not any(thread.is_alive() for thread in threads)
+
+    assert service.admission.in_flight == 0
+    with pytest.raises(AdmissionError, match="closed"):
+        service.submit(Q1_1)
+    # close() is idempotent and safe after the storm
+    service.close()
+    assert not [o for o in outcomes if o[0] == "untyped"]
+
+
+def test_context_manager_closes_even_when_queries_failed(chaos_data):
+    store = _faulted_store(chaos_data, seed=505)
+    with QueryService(cstore=store,
+                      config=ServiceConfig(cache=False)) as service:
+        session = service.session(engine="cs")
+        with pytest.raises(ReproError):
+            session.execute(Q1_1, cached=False)
+        assert service.admission.in_flight == 0
+    with pytest.raises(AdmissionError):
+        service.submit(Q2_1)

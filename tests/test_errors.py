@@ -7,10 +7,17 @@ import pytest
 
 from repro import errors
 from repro.errors import (
+    AdmissionError,
+    BreakerOpenError,
     ChecksumError,
     CorruptPageError,
+    DeadlineError,
+    QueryCancelledError,
     ReproError,
     ScrubError,
+    ServeError,
+    ServiceError,
+    ShedError,
     StorageError,
     TransientIOError,
 )
@@ -54,3 +61,25 @@ def test_transient_error_carries_location():
     assert error.file == "proj.col"
     assert error.page_no == 5
     assert "transient" in str(error)
+
+
+def test_serve_error_family():
+    for cls in (AdmissionError, DeadlineError, ShedError,
+                QueryCancelledError, BreakerOpenError):
+        assert issubclass(cls, ServeError)
+        assert issubclass(cls, ReproError)
+    # the pre-resilience name keeps working for existing callers
+    assert ServiceError is ServeError
+
+
+def test_cancelled_error_carries_reason():
+    error = QueryCancelledError("wall deadline expired mid-execution")
+    assert error.reason == "wall deadline expired mid-execution"
+    assert "cancelled" in str(error)
+
+
+def test_breaker_open_error_carries_scope():
+    error = BreakerOpenError(("cs", "lineorder"), detail="still cooling")
+    assert error.scope == ("cs", "lineorder")
+    assert "lineorder" in str(error)
+    assert "still cooling" in str(error)

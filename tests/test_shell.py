@@ -114,6 +114,18 @@ def test_cache_toggle_and_stats(shell):
     assert first.splitlines()[:-2] == second.splitlines()[:-2]
 
 
+def test_serve_stats_show_resilience(shell):
+    shell.handle("\\engine cs")
+    shell.handle("Q1.1")
+    stats = shell.handle("\\serve stats")
+    # the resilience section and per-scope breaker states round-trip
+    assert "resilience:" in stats
+    assert "shed=0" in stats
+    assert "degraded_hits=0" in stats
+    assert "breakers:" in stats
+    assert "cs/lineorder=closed" in stats
+
+
 def test_cache_off_by_default(ssb_data):
     fresh = Shell(data=ssb_data)
     fresh.handle("\\engine cs")

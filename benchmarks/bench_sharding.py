@@ -1,0 +1,210 @@
+"""Sharded scatter-gather: shard elimination vs the single-stack scan.
+
+One experiment, one artifact (``BENCH_sharding.json``): SSB flight 1
+(the selective orderdate-driven filters) at ``--shards`` (default 4) vs
+``shards=1``, on both engines:
+
+* **Column store**: compression on (``tICL``) and off (``tIcL``).  With
+  compression off the fact columns dominate I/O and eliminating shards
+  wins strictly on every Q1.x.  With compression on the RLE columns are
+  so small that re-reading each shard's replicated dimension copies can
+  cost more pages than elimination saves — recorded honestly, not
+  asserted.
+* **Row store** (traditional design): with partition pruning disabled
+  the full-heap scan shrinks to the surviving shards' heaps — strict
+  wins on every Q1.x.  With the year-partitioned heaps pruning already
+  (Section 6.2) the two mechanisms overlap; recorded, not asserted.
+
+Every cell additionally verifies the sharding invariants: rows identical
+to ``shards=1``, the merged ledger equal to the sum of the per-shard
+span ledgers plus the elimination probes, ``Trace.verify`` clean on the
+merged trace, and one ``shard:K`` span per shard.
+
+``--check`` runs at a tiny scale factor and exits nonzero if any
+invariant or expected strict win fails.  CI calls this via
+``benchmarks/smoke_baseline.sh``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py [--sf 0.05] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_sharding.py --check [--sf 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+from repro.bench.harness import Harness
+from repro.core.config import ExecutionConfig
+from repro.rowstore.designs import DesignKind
+from repro.rowstore.engine import SystemX
+from repro.ssb.queries import ALL_QUERIES
+
+#: column-store configs measured: compression on / off
+CS_CONFIGS = ("tICL", "tIcL")
+
+#: settings where elimination must read strictly fewer pages on Q1.x
+STRICT_QUERIES = ("Q1.1", "Q1.2", "Q1.3")
+STRICT_SETTINGS = ("cs:tIcL", "rs:traditional:noprune")
+
+
+def _verify_invariants(name: str, base_run, sharded_run, shards: int
+                       ) -> None:
+    """The sharding contract for one cell; raises SystemExit on breach."""
+    if base_run.result.rows != sharded_run.result.rows:
+        raise SystemExit(
+            f"{name}: sharded rows differ from shards=1 — the gather "
+            f"is wrong, not a perf issue")
+    trace = sharded_run.trace
+    trace.verify(sharded_run.stats)  # merged span tree vs flat ledger
+    shard_spans = [s for s in trace.root.children
+                   if s.name.startswith("shard:")]
+    if len(shard_spans) != shards:
+        raise SystemExit(
+            f"{name}: expected {shards} shard spans, got "
+            f"{[s.name for s in trace.root.children]}")
+    merged = dataclasses.asdict(sharded_run.stats)
+    summed: dict = {key: 0 for key in merged}
+    for span in trace.root.children:  # shard:K spans + shard-elimination
+        for key, value in dataclasses.asdict(span.stats).items():
+            summed[key] += value
+    if merged != summed:
+        drift = {k: (merged[k], summed[k]) for k in merged
+                 if merged[k] != summed[k]}
+        raise SystemExit(f"{name}: merged ledger is not the sum of the "
+                         f"per-shard ledgers: {drift}")
+
+
+def _cell(name: str, query, setting: str, base_run, sharded_run,
+          shards: int) -> dict:
+    _verify_invariants(name, base_run, sharded_run, shards)
+    report = sharded_run.shard_report
+    return {
+        "query": query.name,
+        "setting": setting,
+        "shards": shards,
+        "executed_shards": list(report.executed),
+        "eliminated_shards": list(report.eliminated),
+        "pages_read_1": base_run.stats.pages_read,
+        "pages_read_n": sharded_run.stats.pages_read,
+        "bytes_read_1": base_run.stats.bytes_read,
+        "bytes_read_n": sharded_run.stats.bytes_read,
+        "seconds_1": base_run.seconds,
+        "seconds_n": sharded_run.seconds,
+        "synopsis_probes": sharded_run.stats.synopsis_probes,
+    }
+
+
+def run_cells(harness: Harness, shards: int) -> list:
+    flight1 = [q for q in ALL_QUERIES if q.name.startswith("Q1.")]
+    cells = []
+
+    store = harness.cstore()
+    for label in CS_CONFIGS:
+        config = ExecutionConfig.from_label(label)
+        sharded = dataclasses.replace(config, shards=shards)
+        for query in flight1:
+            base_run = store.execute(query, config)
+            sharded_run = store.execute(query, sharded)
+            setting = f"cs:{label}"
+            cells.append(_cell(f"{query.name} [{setting}]", query, setting,
+                               base_run, sharded_run, shards))
+
+    design = DesignKind.TRADITIONAL
+    rs1 = harness.system_x([design])
+    rs_n = SystemX(harness.data, designs=[design],
+                   zone_maps=harness.zone_maps, shards=shards)
+    for prune, tag in ((False, "noprune"), (True, "prune")):
+        for query in flight1:
+            base_run = rs1.execute(query, design, prune_partitions=prune)
+            sharded_run = rs_n.execute(query, design,
+                                       prune_partitions=prune)
+            setting = f"rs:traditional:{tag}"
+            cells.append(_cell(f"{query.name} [{setting}]", query, setting,
+                               base_run, sharded_run, shards))
+    return cells
+
+
+def check(cells: list) -> list:
+    """Violated guarantees (empty list = pass).  Row identity, ledger
+    additivity, and trace shape are enforced during the run; this checks
+    the elimination contract on top."""
+    problems = []
+    for cell in cells:
+        name = f"{cell['query']} [{cell['setting']}]"
+        if cell["query"] in STRICT_QUERIES:
+            if not cell["eliminated_shards"]:
+                problems.append(
+                    f"{name}: flight-1 filters eliminated no shard")
+            if cell["setting"] in STRICT_SETTINGS and \
+                    cell["pages_read_n"] >= cell["pages_read_1"]:
+                problems.append(
+                    f"{name}: expected a strict page win over shards=1, "
+                    f"got {cell['pages_read_n']} vs "
+                    f"{cell['pages_read_1']}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=0.05,
+                        help="scale factor (default 0.05)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count to compare against 1 (default 4)")
+    parser.add_argument("--out", default="BENCH_sharding.json",
+                        help="output path (default BENCH_sharding.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the elimination guarantees and exit "
+                             "(no artifact written); meant for CI at a "
+                             "small --sf")
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error(f"--shards must be >= 2, got {args.shards}")
+
+    print(f"generating SSB data at SF {args.sf} ...")
+    harness = Harness(scale_factor=args.sf)
+    cells = run_cells(harness, args.shards)
+    problems = check(cells)
+
+    if args.check:
+        if problems:
+            print(f"SHARDING CHECK FAILED — {len(problems)} problem(s):")
+            for message in problems:
+                print(f"  {message}")
+            return 1
+        print(f"sharding check passed: {len(cells)} cell(s); rows, "
+              f"merged ledgers, and traces identical across shard "
+              f"counts; elimination won strictly where required")
+        return 0
+
+    report = {
+        "scale_factor": args.sf,
+        "shards": args.shards,
+        "cells": cells,
+        "guarantees_hold": not problems,
+        "problems": problems,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"\n{'query':7s} {'setting':22s} {'pages@1':>8s} "
+          f"{'pages@N':>8s} {'executed':>9s} {'sec@1':>9s} {'sec@N':>9s}")
+    for cell in cells:
+        executed = f"{len(cell['executed_shards'])}/{cell['shards']}"
+        print(f"{cell['query']:7s} {cell['setting']:22s} "
+              f"{cell['pages_read_1']:8d} {cell['pages_read_n']:8d} "
+              f"{executed:>9s} {cell['seconds_1']:8.4f}s "
+              f"{cell['seconds_n']:8.4f}s")
+    if problems:
+        print(f"\nWARNING — {len(problems)} guarantee violation(s):")
+        for message in problems:
+            print(f"  {message}")
+    print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,11 @@ def main(argv=None) -> int:
                              "scans on both engines (default off; results "
                              "never change, only pages read — see "
                              "docs/synopses.md)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="scatter-gather shard count on both engines "
+                             "(default 1 = single stack; results never "
+                             "change, only how work is partitioned and "
+                             "eliminated — see docs/sharding.md)")
     parser.add_argument("--out", default=None,
                         help="output path for the 'report' target "
                              "(default: stdout)")
@@ -121,12 +126,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
+    # informational exits: print to stdout, return 0 — scripts pipe these
     if args.fault_profile == "list":
-        from ..simio.faults import PROFILES, PROFILE_NOTES
-        for name in sorted(PROFILES):
-            print(f"{name:12s} {PROFILE_NOTES.get(name, '')}")
-        return 0
+        return _print_fault_profiles()
 
     if args.check_baseline:
         return _run_check_baseline(parser, args)
@@ -144,11 +149,13 @@ def main(argv=None) -> int:
                       workers=args.workers,
                       fault_profile=args.fault_profile,
                       fault_seed=args.fault_seed,
-                      zone_maps=args.zone_maps == "on")
+                      zone_maps=args.zone_maps == "on",
+                      shards=args.shards)
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}"
-          + (", zone maps on" if harness.zone_maps else ""))
+          + (", zone maps on" if harness.zone_maps else "")
+          + (f", {harness.shards} shards" if harness.shards > 1 else ""))
 
     if args.target == "breakdown":
         from ..core.config import ExecutionConfig
@@ -215,7 +222,8 @@ def main(argv=None) -> int:
                                    figure=target,
                                    scale_factor=harness.scale_factor,
                                    workers=harness.workers,
-                                   zone_maps=harness.zone_maps)
+                                   zone_maps=harness.zone_maps,
+                                   shards=harness.shards)
                     print(f"\nwrote baseline {args.write_baseline}")
             print(f"\n[{target} regenerated in "
                   f"{time.time() - started:.1f}s wall clock]")
@@ -223,6 +231,15 @@ def main(argv=None) -> int:
         if trace_file is not None:
             trace_file.close()
             print(f"wrote traces to {args.trace_json}")
+    return 0
+
+
+def _print_fault_profiles() -> int:
+    """``--fault-profile list``: an informational exit — stdout, code 0."""
+    from ..simio.faults import PROFILES, PROFILE_NOTES
+
+    for name in sorted(PROFILES):
+        print(f"{name:12s} {PROFILE_NOTES.get(name, '')}")
     return 0
 
 
@@ -235,7 +252,8 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
     harness = Harness(scale_factor=args.sf,
                       fault_profile=args.fault_profile,
                       fault_seed=args.fault_seed,
-                      zone_maps=args.zone_maps == "on")
+                      zone_maps=args.zone_maps == "on",
+                      shards=args.shards)
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}")
@@ -271,15 +289,23 @@ def _run_check_baseline(parser: argparse.ArgumentParser, args) -> int:
         parser.error(f"--zone-maps {args.zone_maps} conflicts with the "
                      f"baseline's setting "
                      f"{baseline.get('zone_maps', False)}")
+    # pre-sharding artifacts read as shards=1 (the PR 5 zone-map rule)
+    baseline_shards = baseline.get("shards", 1)
+    if args.shards != 1 and args.shards != baseline_shards:
+        parser.error(f"--shards {args.shards} conflicts with the "
+                     f"baseline's setting {baseline_shards}")
     harness = Harness(scale_factor=baseline["scale_factor"],
                       verify_against_reference=args.verify,
                       workers=baseline["workers"],
                       fault_profile=args.fault_profile,
                       fault_seed=args.fault_seed,
-                      zone_maps=baseline.get("zone_maps", False))
+                      zone_maps=baseline.get("zone_maps", False),
+                      shards=baseline_shards)
     print(f"checking {figure} against {args.check_baseline} "
           f"(sf {harness.scale_factor}, {harness.workers} worker(s)"
-          + (", zone maps on" if harness.zone_maps else "") + ")")
+          + (", zone maps on" if harness.zone_maps else "")
+          + (f", {harness.shards} shards" if harness.shards > 1 else "")
+          + ")")
     grid = _FIGURES[figure][0](harness)
     regressions = check_against_baseline(grid, baseline)
     if regressions:

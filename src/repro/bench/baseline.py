@@ -31,7 +31,8 @@ DEFAULT_TOLERANCE = 0.02
 
 
 def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
-                    workers: int, zone_maps: bool = False) -> Dict:
+                    workers: int, zone_maps: bool = False,
+                    shards: int = 1) -> Dict:
     """The grid as a JSON-ready dict (stable key order)."""
     grid.validate_aligned()
     return {
@@ -40,6 +41,7 @@ def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
         "scale_factor": scale_factor,
         "workers": workers,
         "zone_maps": zone_maps,
+        "shards": shards,
         "series": {
             label: {q: seconds for q, seconds in sorted(values.items())}
             for label, values in grid.series.items()
@@ -49,10 +51,10 @@ def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
 
 def write_baseline(path: str, grid: RunGrid, *, figure: str,
                    scale_factor: float, workers: int,
-                   zone_maps: bool = False) -> None:
+                   zone_maps: bool = False, shards: int = 1) -> None:
     record = baseline_record(grid, figure=figure,
                              scale_factor=scale_factor, workers=workers,
-                             zone_maps=zone_maps)
+                             zone_maps=zone_maps, shards=shards)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
@@ -73,7 +75,8 @@ def load_baseline(path: str) -> Dict:
         if key not in record:
             raise BenchmarkError(f"baseline {path!r} is missing {key!r}")
     # "zone_maps" is optional — pre-synopsis artifacts omit it and are
-    # interpreted as zone-maps-off (which is what they measured)
+    # interpreted as zone-maps-off (which is what they measured).
+    # "shards" likewise: pre-sharding artifacts read as shards=1.
     return record
 
 

@@ -110,7 +110,8 @@ class Harness:
                  workers: int = 1,
                  fault_profile: Optional[str] = None,
                  fault_seed: int = 0,
-                 zone_maps: bool = False) -> None:
+                 zone_maps: bool = False,
+                 shards: int = 1) -> None:
         self.scale_factor = (scale_factor if scale_factor is not None
                              else scale_factor_from_env())
         self.seed = seed
@@ -121,6 +122,9 @@ class Harness:
         #: consult zone-map synopses on both engines' scan paths (results
         #: are invariant; only pages touched and the skip counters move)
         self.zone_maps = zone_maps
+        #: scatter-gather shard count on both engines (1 = the unchanged
+        #: single-stack path; results are invariant, see docs/sharding.md)
+        self.shards = shards
         #: optional seeded fault schedule installed on each engine's disk
         #: right after it is built (see :mod:`repro.simio.faults`);
         #: tables loaded later (e.g. denormalized ones) are not corrupted
@@ -160,7 +164,8 @@ class Harness:
     def system_x(self, designs: Sequence[DesignKind]) -> SystemX:
         if self._system_x is None:
             self._system_x = SystemX(self.data, designs=list(designs),
-                                     zone_maps=self.zone_maps)
+                                     zone_maps=self.zone_maps,
+                                     shards=self.shards)
             self._built_designs = set(designs)
             self._install_faults(self._system_x.disk)
         else:
@@ -228,6 +233,8 @@ class Harness:
             config = replace(config, workers=self.workers)
         if self.zone_maps and not config.zone_maps:
             config = replace(config, zone_maps=True)
+        if self.shards > 1 and config.shards != self.shards:
+            config = replace(config, shards=self.shards)
         run = self.cstore().execute(query, config)
         self._check(query, run.result)
         self._emit_trace(run, "colstore", config.label, query.name)

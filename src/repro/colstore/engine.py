@@ -10,7 +10,7 @@ partitioning, so Row-MV scans always read every year.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,6 +57,8 @@ class ColumnStoreRun:
     #: layer's semantic cache; ``None`` for early-materialization plans
     survivors: Optional[object] = None
     projection_name: Optional[str] = None
+    #: which shards ran / were eliminated (sharded executions only)
+    shard_report: Optional[object] = None
 
     @property
     def seconds(self) -> float:
@@ -94,6 +96,10 @@ class CStore:
         if buffer_pool_bytes is None:
             buffer_pool_bytes = max(MIN_POOL_BYTES,
                                     int(PAPER_BUFFER_POOL_BYTES * scale))
+        self._levels = tuple(levels)
+        self._pool_bytes = buffer_pool_bytes
+        #: shard count -> [(FactShard, child CStore)], built lazily
+        self._shard_sets: Dict[int, List[Tuple[object, "CStore"]]] = {}
         self.disk = SimulatedDisk()
         self.pool = BufferPool(self.disk, buffer_pool_bytes)
         self._projections: Dict[Tuple[str, CompressionLevel],
@@ -216,7 +222,16 @@ class CStore:
         ``stats.recoveries``).  When no redundancy remains the query
         fails with a structured :class:`CorruptPageError` — never a
         silently wrong result.
+
+        ``config.shards > 1`` routes through the scatter-gather
+        executor: each shard is a complete child ``CStore`` on its own
+        disk array, shard elimination runs before any I/O, and the
+        returned run carries the merged ledger and span tree (see
+        ``docs/sharding.md``).
         """
+        if config.shards > 1:
+            return self._execute_sharded(query, config, level, cold_pool,
+                                         cancellation)
         forbidden: set = set()
         recoveries = 0
         saved_cancellation = self.disk.cancellation
@@ -252,6 +267,58 @@ class CStore:
                                             None))
         finally:
             self.disk.cancellation = saved_cancellation
+
+    # ------------------------------------------------------------------ #
+    # sharded execution
+    # ------------------------------------------------------------------ #
+    def shard_children(self, shards: int) -> List[Tuple[object, "CStore"]]:
+        """The ``shards``-way shard set: each entry pairs a
+        :class:`~repro.shard.partition.FactShard` with a complete child
+        engine on its own simulated disk array.  Built once per shard
+        count and reused across queries (the shards *are* the physical
+        design, not per-query scratch state)."""
+        existing = self._shard_sets.get(shards)
+        if existing is not None:
+            return existing
+        from ..shard.partition import ShardScheme, partition_data
+
+        scheme = (ShardScheme.RANGE
+                  if self.data.lineorder.sort_order.sorted_prefix_of(
+                      "orderdate")
+                  else ShardScheme.HASH)
+        child_pool = max(MIN_POOL_BYTES, self._pool_bytes // shards)
+        children = [
+            (shard, CStore(shard.data, levels=self._levels,
+                           cost_model=self.cost_model,
+                           buffer_pool_bytes=child_pool))
+            for shard in partition_data(self.data, shards, scheme)
+        ]
+        self._shard_sets[shards] = children
+        return children
+
+    def _execute_sharded(
+        self,
+        query: StarQuery,
+        config: ExecutionConfig,
+        level: Optional[CompressionLevel],
+        cold_pool: bool,
+        cancellation,
+    ) -> ColumnStoreRun:
+        from ..shard.executor import scatter_gather
+
+        children = self.shard_children(config.shards)
+        child_config = replace(config, shards=1)
+
+        def execute_one(k: int, shard_query: StarQuery) -> ColumnStoreRun:
+            return children[k][1].execute(
+                shard_query, child_config, level=level, cold_pool=cold_pool,
+                cancellation=cancellation)
+
+        result, stats, trace, report = scatter_gather(
+            query, [shard.synopsis for shard, _engine in children],
+            self.data.date, execute_one, self.cost_model)
+        return ColumnStoreRun(result, stats, self.cost_model.cost(stats),
+                              trace=trace, shard_report=report)
 
     def _plan_recovery(self, error: ChecksumError, forbidden: set,
                        recoveries: int) -> Tuple[set, int]:

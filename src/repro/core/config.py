@@ -61,6 +61,12 @@ class ExecutionConfig:
     #: four-letter label: it never changes results, only which pages a
     #: scan touches (see ``docs/synopses.md``).
     zone_maps: bool = False
+    #: scatter-gather sharding: number of fact-table shards, each a
+    #: self-contained storage stack (see ``docs/sharding.md``).  1
+    #: (default) takes the unchanged single-stack code path.  Not part
+    #: of the four-letter label: like ``workers``, it never changes the
+    #: rows — only how the work is partitioned and eliminated.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.invisible_join and not self.late_materialization:
@@ -74,6 +80,8 @@ class ExecutionConfig:
             raise PlanError(
                 f"morsel_rows must be >= 1, got {self.morsel_rows}"
             )
+        if self.shards < 1:
+            raise PlanError(f"shards must be >= 1, got {self.shards}")
 
     @property
     def label(self) -> str:

@@ -14,7 +14,7 @@ measured counts to simulated seconds with the shared
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ChecksumError, CorruptPageError, PlanError
 from ..obs import Trace, Tracer
@@ -46,6 +46,8 @@ class RowStoreRun:
     cost: CostBreakdown
     #: per-phase span tree; verified to sum exactly to ``stats``
     trace: Optional[Trace] = None
+    #: which shards ran / were eliminated (sharded executions only)
+    shard_report: Optional[object] = None
 
     @property
     def seconds(self) -> float:
@@ -71,6 +73,11 @@ class SystemX:
         Consult per-page min/max synopses before heap scans, skipping
         pages that cannot satisfy the pushed-down predicates.  Off by
         default (the paper's System X reads every page).
+    shards:
+        Scatter-gather sharding: split the fact table into this many
+        self-contained shards, each a complete child ``SystemX`` on its
+        own disk array (see ``docs/sharding.md``).  1 (default) keeps
+        the unchanged single-stack path.
     """
 
     def __init__(
@@ -81,10 +88,16 @@ class SystemX:
         buffer_pool_bytes: Optional[int] = None,
         join_memory_bytes: Optional[int] = None,
         zone_maps: bool = False,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise PlanError(f"shards must be >= 1, got {shards}")
         self.data = data
         self.cost_model = cost_model
         self.zone_maps = zone_maps
+        self.shards = shards
+        #: [(FactShard, child SystemX)], built lazily on first sharded run
+        self._shard_children: Optional[List[Tuple[object, "SystemX"]]] = None
         scale = data.scale_factor / PAPER_SCALE_FACTOR
         if buffer_pool_bytes is None:
             buffer_pool_bytes = max(MIN_POOL_BYTES,
@@ -92,6 +105,7 @@ class SystemX:
         if join_memory_bytes is None:
             join_memory_bytes = max(MIN_POOL_BYTES,
                                     int(PAPER_JOIN_MEMORY_BYTES * scale))
+        self._pool_bytes = buffer_pool_bytes
         self.disk = SimulatedDisk()
         self.pool = BufferPool(self.disk, buffer_pool_bytes)
         self.join_memory_bytes = join_memory_bytes
@@ -105,7 +119,8 @@ class SystemX:
             self.add_design(design)
 
     def add_design(self, design: DesignKind) -> None:
-        """Materialize one design's artifacts (idempotent)."""
+        """Materialize one design's artifacts (idempotent; propagated to
+        shard children when sharding is active)."""
         if design in self._built:
             return
         builder = DesignBuilder(self.disk, self.data)
@@ -120,6 +135,9 @@ class SystemX:
         if design is DesignKind.INDEX_ONLY:
             builder.build_indexes(self.artifacts)
         self._built.add(design)
+        if self._shard_children is not None:
+            for _shard, child in self._shard_children:
+                child.add_design(design)
 
     @property
     def designs(self) -> List[DesignKind]:
@@ -155,6 +173,11 @@ class SystemX:
                 f"design {design.value} was not built; available: "
                 f"{[d.value for d in self.designs]}"
             )
+        if self.shards > 1:
+            return self._execute_sharded(
+                query, design, prune_partitions=prune_partitions,
+                vp_join=vp_join, vp_super_tuples=vp_super_tuples,
+                cold_pool=cold_pool, cancellation=cancellation)
         if vp_super_tuples and not self.artifacts.vp_super_heaps:
             DesignBuilder(self.disk, self.data) \
                 .build_super_vertical_partitions(self.artifacts)
@@ -193,6 +216,62 @@ class SystemX:
         trace = tracer.finish(stats)
         return RowStoreRun(result, stats, self.cost_model.cost(stats),
                            trace=trace)
+
+    # ------------------------------------------------------------------ #
+    # sharded execution
+    # ------------------------------------------------------------------ #
+    def shard_children(self) -> List[Tuple[object, "SystemX"]]:
+        """The shard set behind ``shards > 1``: each entry pairs a
+        :class:`~repro.shard.partition.FactShard` with a complete child
+        ``SystemX`` on its own simulated disk array.  Built once and
+        reused across queries."""
+        if self._shard_children is not None:
+            return self._shard_children
+        from ..shard.partition import ShardScheme, partition_data
+
+        scheme = (ShardScheme.RANGE
+                  if self.data.lineorder.sort_order.sorted_prefix_of(
+                      "orderdate")
+                  else ShardScheme.HASH)
+        child_pool = max(MIN_POOL_BYTES, self._pool_bytes // self.shards)
+        child_join = max(MIN_POOL_BYTES,
+                         self.join_memory_bytes // self.shards)
+        self._shard_children = [
+            (shard, SystemX(shard.data, designs=self.designs,
+                            cost_model=self.cost_model,
+                            buffer_pool_bytes=child_pool,
+                            join_memory_bytes=child_join,
+                            zone_maps=self.zone_maps))
+            for shard in partition_data(self.data, self.shards, scheme)
+        ]
+        return self._shard_children
+
+    def _execute_sharded(
+        self,
+        query: StarQuery,
+        design: DesignKind,
+        *,
+        prune_partitions: bool,
+        vp_join: str,
+        vp_super_tuples: bool,
+        cold_pool: bool,
+        cancellation,
+    ) -> RowStoreRun:
+        from ..shard.executor import scatter_gather
+
+        children = self.shard_children()
+
+        def execute_one(k: int, shard_query: StarQuery) -> RowStoreRun:
+            return children[k][1].execute(
+                shard_query, design, prune_partitions=prune_partitions,
+                vp_join=vp_join, vp_super_tuples=vp_super_tuples,
+                cold_pool=cold_pool, cancellation=cancellation)
+
+        result, stats, trace, report = scatter_gather(
+            query, [shard.synopsis for shard, _engine in children],
+            self.data.date, execute_one, self.cost_model)
+        return RowStoreRun(result, stats, self.cost_model.cost(stats),
+                           trace=trace, shard_report=report)
 
     def storage_bytes(self) -> int:
         """Total simulated disk occupied by all built artifacts."""

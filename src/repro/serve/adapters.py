@@ -131,10 +131,15 @@ class ColumnStoreAdapter:
                 else CompressionLevel.NONE)
 
     def scope(self, session: Session) -> Tuple:
-        # zone maps never change results, but scoping on the flag keeps
-        # cached ledgers/traces comparable within one setting
+        # zone maps and sharding never change results, but scoping on
+        # them keeps cached ledgers/traces comparable within one
+        # setting (and isolates each shard set's cache)
         return ("cs", session.config.label, self.level(session).value,
-                "zm" if session.config.zone_maps else "")
+                "zm" if session.config.zone_maps else "",
+                f"sh{session.config.shards}")
+
+    def shard_count(self, session: Session) -> int:
+        return session.config.shards
 
     def share_key(self, query: StarQuery, session: Session) -> Tuple:
         level = self.level(session)
@@ -144,8 +149,11 @@ class ColumnStoreAdapter:
 
     def recordable(self, session: Session) -> bool:
         # early-materialization plans have no surviving-position set;
-        # those sessions still get the result cache
-        return session.config.late_materialization
+        # sharded runs have none either (positions would be shard-local
+        # and the gather discards them) — both still get the result
+        # cache
+        return (session.config.late_materialization
+                and session.config.shards == 1)
 
     def execute(self, query: StarQuery, session: Session,
                 warm: bool = False, cancellation=None):
@@ -331,16 +339,22 @@ class RowStoreAdapter:
 
     def scope(self, session: Session) -> Tuple:
         return ("rs", session.design.value,
-                "zm" if self.engine.zone_maps else "")
+                "zm" if self.engine.zone_maps else "",
+                f"sh{self.engine.shards}")
 
-    def share_key(self, query: StarQuery, session: Session) -> Tuple:
-        return ("rs", session.design.value)
+    def shard_count(self, session: Session) -> int:
+        return self.engine.shards
 
     def recordable(self, session: Session) -> bool:
         # positions are recorded as rids of the whole-fact heap, which
-        # only the traditional plan shape maps onto cleanly; other
-        # designs still get the result cache
-        return session.design is DesignKind.TRADITIONAL
+        # only the traditional plan shape maps onto cleanly — and only
+        # unsharded (the recording scan would bypass the shard stacks);
+        # other sessions still get the result cache
+        return (session.design is DesignKind.TRADITIONAL
+                and self.engine.shards == 1)
+
+    def share_key(self, query: StarQuery, session: Session) -> Tuple:
+        return ("rs", session.design.value)
 
     def execute(self, query: StarQuery, session: Session,
                 warm: bool = False, cancellation=None):

@@ -460,6 +460,18 @@ class SemanticCache:
                 _key, evicted = self._entries.popitem(last=False)
                 self._bytes -= evicted.nbytes
                 self.counters.evictions += 1
+            self._check_bytes()
+
+    def _check_bytes(self) -> None:
+        """Assert the byte gauge against ground truth (caller holds the
+        lock).  Runs after every mutation: the gauge drives eviction and
+        the ``snapshot()`` numbers, so silent drift would corrupt both
+        long before anything visibly failed."""
+        actual = sum(e.nbytes for e in self._entries.values())
+        if self._bytes != actual or self._bytes < 0:
+            raise AssertionError(
+                f"semantic-cache byte accounting drifted: gauge "
+                f"{self._bytes}, entries sum to {actual}")
 
     # -------------------------------------------------------------- #
     # invalidation
@@ -470,11 +482,14 @@ class SemanticCache:
             entry = self._entries.pop(key, None)
             if entry is not None:
                 self._bytes -= entry.nbytes
+            self._check_bytes()
 
     def invalidate(self, table: Optional[str] = None) -> int:
         """Drop every entry touching ``table`` (all entries when
         ``None``) — the hook a data mutation would call.  Returns the
-        number of entries dropped."""
+        number of entries dropped.  Victims are collected *before* any
+        pop so the gauge is decremented against a stable view of
+        ``_entries``."""
         with self._lock:
             if table is None:
                 dropped = len(self._entries)
@@ -487,6 +502,7 @@ class SemanticCache:
                     self._bytes -= self._entries.pop(key).nbytes
                 dropped = len(victims)
             self.counters.invalidations += dropped
+            self._check_bytes()
             return dropped
 
     def clear(self) -> int:

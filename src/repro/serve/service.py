@@ -658,7 +658,10 @@ class QueryService:
         result-cache hit as neither."""
         session, engine = request.session, adapter.engine
         tracer = request.tracer
-        breaker_scope = (session.engine, request.query.fact_table)
+        # per shard set: a fault in one shard configuration must not trip
+        # (or be masked by) the health of a differently-sharded stack
+        breaker_scope = (session.engine, request.query.fact_table,
+                         adapter.shard_count(session))
         trial = False
         if self.breakers is not None:
             with tracer.span("breaker-check"):

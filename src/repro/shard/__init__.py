@@ -1,0 +1,32 @@
+"""Sharded scatter-gather execution (see ``docs/sharding.md``).
+
+:mod:`repro.shard.partition` splits the SSB fact table into
+self-contained shards with catalog-resident synopses;
+:mod:`repro.shard.executor` rewrites queries for per-shard execution,
+eliminates shards before any I/O, and merges results, ledgers, and
+traces.  Both engines route through here when configured with
+``shards > 1``.
+"""
+
+from .executor import (
+    GatherSpec,
+    ShardReport,
+    gather,
+    qualifying_shards,
+    scatter_gather,
+    shard_plan,
+)
+from .partition import FactShard, ShardScheme, ShardSynopsis, partition_data
+
+__all__ = [
+    "FactShard",
+    "ShardScheme",
+    "ShardSynopsis",
+    "partition_data",
+    "GatherSpec",
+    "ShardReport",
+    "shard_plan",
+    "qualifying_shards",
+    "gather",
+    "scatter_gather",
+]

@@ -115,12 +115,17 @@ class _Parser:
                 order_by.append(self.parse_order_key())
         limit: Optional[int] = None
         if self.accept_keyword("LIMIT"):
+            negative = self.accept_symbol("-")
             number = self.advance()
             if number.kind is not TokenKind.NUMBER:
                 raise SqlParseError(
                     f"expected a number after LIMIT, got {number.text!r}"
                 )
-            limit = int(number.text)
+            limit = -int(number.text) if negative else int(number.text)
+            if limit <= 0:
+                raise SqlParseError(
+                    f"LIMIT must be a positive integer, got {limit}"
+                )
         self.accept_symbol(";")
         tail = self.peek()
         if tail.kind is not TokenKind.EOF:

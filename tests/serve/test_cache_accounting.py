@@ -1,0 +1,163 @@
+"""Semantic-cache byte accounting and shard-scoped cache isolation.
+
+The ``_bytes`` gauge drives eviction and the ``snapshot()`` numbers, so
+the cache self-checks it against the sum of entry sizes after every
+mutation.  These tests hammer the mutation paths — insert, replace,
+discard, invalidate, evict — and assert the gauge can never go stale or
+negative; plus the serve-layer rule that differently-sharded stacks
+never share cache entries.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecutionConfig
+from repro.result import ResultSet
+from repro.serve.semcache import (
+    PredicateSignature,
+    SemanticCache,
+    ValueSet,
+    normalize_query,
+)
+from repro.serve.service import QueryService
+from repro.sql import parse_query
+from repro.ssb.queries import ALL_QUERIES
+
+SCOPE = ("cs", "tICL", "max", "", "sh1")
+
+
+def _query(n: int):
+    return parse_query(
+        f"SELECT sum(lo.revenue) AS r FROM lineorder AS lo "
+        f"WHERE lo.quantity < {n}")
+
+
+def _result(rows: int) -> ResultSet:
+    return ResultSet(["r"], [(i,) for i in range(rows)])
+
+
+def _signature(n: int) -> PredicateSignature:
+    return normalize_query(_query(n))
+
+
+def _assert_consistent(cache: SemanticCache) -> None:
+    snap = cache.snapshot()
+    assert cache.current_bytes >= 0
+    assert cache.current_bytes == snap["bytes"]
+    # ground truth: the entries themselves
+    assert cache.current_bytes == \
+        sum(e.nbytes for e in cache._entries.values())
+
+
+# --------------------------------------------------------------------- #
+# the hammer: every mutation path, gauge checked after each step
+# --------------------------------------------------------------------- #
+def test_accounting_survives_mixed_mutations():
+    cache = SemanticCache(budget_bytes=16 << 10, admit_seconds=0.0)
+    for round_ in range(3):
+        for n in range(1, 30):
+            # vary sizes; repeats of the same n are replacements
+            cache.admit_result(SCOPE, _query(n), _result(n % 7 + 1),
+                               seconds=1.0, tables=frozenset({"lineorder"}))
+            _assert_consistent(cache)
+        cache.admit_positions(
+            SCOPE, _signature(50),
+            payload=np.arange(100, dtype=np.int64),
+            key_sets={"date": np.arange(10, dtype=np.int64)},
+            seconds=1.0, nbytes=800)
+        _assert_consistent(cache)
+        dropped = cache.invalidate("lineorder")
+        assert dropped > 0
+        _assert_consistent(cache)
+    assert cache.current_bytes >= 0
+
+
+def test_replacement_never_double_counts():
+    cache = SemanticCache(budget_bytes=1 << 20, admit_seconds=0.0)
+    big, small = _result(500), _result(1)
+    for payload in (big, small, big, small):
+        cache.admit_result(SCOPE, _query(5), payload, seconds=1.0,
+                           tables=frozenset({"lineorder"}))
+        _assert_consistent(cache)
+        assert len(cache) == 1
+    # the gauge tracks the *last* admitted payload, not the sum
+    solo = SemanticCache(budget_bytes=1 << 20, admit_seconds=0.0)
+    solo.admit_result(SCOPE, _query(5), small, seconds=1.0,
+                      tables=frozenset({"lineorder"}))
+    assert cache.current_bytes == solo.current_bytes
+
+
+def test_eviction_keeps_gauge_within_budget():
+    cache = SemanticCache(budget_bytes=4 << 10, admit_seconds=0.0)
+    for n in range(1, 60):
+        cache.admit_result(SCOPE, _query(n), _result(20), seconds=1.0,
+                           tables=frozenset({"lineorder"}))
+        _assert_consistent(cache)
+    assert cache.counters.evictions > 0
+    assert cache.current_bytes <= cache.budget_bytes
+
+
+def test_discard_and_clear():
+    cache = SemanticCache(budget_bytes=1 << 20, admit_seconds=0.0)
+    cache.admit_result(SCOPE, _query(3), _result(3), seconds=1.0,
+                       tables=frozenset({"lineorder"}))
+    [key] = list(cache._entries)
+    cache.discard(key)
+    _assert_consistent(cache)
+    assert cache.current_bytes == 0
+    cache.discard(key)  # double discard is a no-op, not a drift
+    _assert_consistent(cache)
+    cache.admit_result(SCOPE, _query(4), _result(4), seconds=1.0,
+                       tables=frozenset({"lineorder"}))
+    assert cache.clear() == 1
+    _assert_consistent(cache)
+    assert cache.current_bytes == 0
+
+
+def test_drift_is_caught_not_silent():
+    """If the gauge ever disagrees with the entries, the very next
+    mutation raises instead of silently mis-evicting."""
+    cache = SemanticCache(budget_bytes=1 << 20, admit_seconds=0.0)
+    cache.admit_result(SCOPE, _query(3), _result(3), seconds=1.0,
+                       tables=frozenset({"lineorder"}))
+    cache._bytes += 1  # simulated accounting bug
+    with pytest.raises(AssertionError, match="drifted"):
+        cache.invalidate("lineorder")
+
+
+def test_empty_valueset_signature_admits_cleanly():
+    # degenerate signature (empty constraint) must not upset accounting
+    cache = SemanticCache(budget_bytes=1 << 20, admit_seconds=0.0)
+    sig = PredicateSignature("lineorder",
+                             (("lineorder", "quantity", ValueSet(())),))
+    cache.admit_positions(SCOPE, sig, payload=np.array([], dtype=np.int64),
+                          key_sets={}, seconds=1.0, nbytes=0)
+    _assert_consistent(cache)
+
+
+# --------------------------------------------------------------------- #
+# shard-scoped isolation through the service
+# --------------------------------------------------------------------- #
+def test_shard_sets_do_not_share_cache_entries(cstore):
+    """A result cached by an unsharded session must not serve a sharded
+    session (and vice versa): the scopes differ in their ``shN`` field,
+    so each shard set warms its own cache."""
+    q11 = next(q for q in ALL_QUERIES if q.name == "Q1.1")
+    with QueryService(cstore=cstore) as service:
+        plain = service.session(engine="cs")
+        sharded = service.session(
+            engine="cs",
+            config=replace(ExecutionConfig.baseline(), shards=4))
+        first = plain.execute(q11)
+        assert first.source == "engine"
+        repeat = plain.execute(q11)
+        assert repeat.source == "cache-exact"
+        # same query, different shard scope: engine run, not a hit
+        cross = sharded.execute(q11)
+        assert cross.source == "engine"
+        assert cross.result.rows == first.result.rows
+        # ... and the sharded scope now has its own entry
+        again = sharded.execute(q11)
+        assert again.source == "cache-exact"

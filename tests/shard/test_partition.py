@@ -1,0 +1,150 @@
+"""Fact-table partitioning: range/hash assignment and shard synopses."""
+
+import numpy as np
+import pytest
+
+from repro.colstore.engine import CStore
+from repro.core.config import ExecutionConfig
+from repro.errors import PlanError
+from repro.shard import FactShard, ShardScheme, ShardSynopsis, partition_data
+from repro.ssb.generator import SsbData
+from repro.ssb.queries import ALL_QUERIES
+from repro.ssb.schema import FACT_SORT_KEYS
+
+SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def range_shards(ssb_data):
+    return partition_data(ssb_data, SHARDS)
+
+
+@pytest.fixture(scope="module")
+def hash_shards(ssb_data):
+    return partition_data(ssb_data, SHARDS, ShardScheme.HASH)
+
+
+# --------------------------------------------------------------------- #
+# range partitioning
+# --------------------------------------------------------------------- #
+def test_range_covers_every_row_once(ssb_data, range_shards):
+    assert sum(s.data.lineorder.num_rows for s in range_shards) == \
+        ssb_data.lineorder.num_rows
+    # contiguous slices in order: concatenating the shards' orderkeys
+    # reproduces the original column exactly
+    merged = np.concatenate(
+        [s.data.lineorder.column("orderkey").data for s in range_shards])
+    assert np.array_equal(merged, ssb_data.lineorder.column("orderkey").data)
+
+
+def test_range_bounds_are_disjoint(range_shards):
+    """Boundary snapping: equal orderdates never straddle two shards, so
+    the per-shard intervals (the elimination input) are disjoint."""
+    intervals = [s.synopsis.range_of("orderdate") for s in range_shards
+                 if s.synopsis.num_rows]
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(intervals, intervals[1:]):
+        assert lo_a <= hi_a
+        assert hi_a < lo_b  # strictly: the run boundary was respected
+
+
+def test_range_keeps_the_fact_sort_order(range_shards):
+    for shard in range_shards:
+        assert tuple(shard.data.lineorder.sort_order.keys) == FACT_SORT_KEYS
+
+
+def test_range_requires_a_sorted_key(ssb_data):
+    # reverse the fact rows: orderdate now descends, so range
+    # partitioning must refuse rather than emit overlapping "ranges"
+    fact = ssb_data.lineorder
+    reversed_fact = fact.take(np.arange(fact.num_rows)[::-1])
+    scrambled = SsbData(
+        scale_factor=ssb_data.scale_factor, seed=ssb_data.seed,
+        lineorder=reversed_fact, customer=ssb_data.customer,
+        supplier=ssb_data.supplier, part=ssb_data.part, date=ssb_data.date)
+    with pytest.raises(PlanError):
+        partition_data(scrambled, 2)
+
+
+def test_bad_shard_count_rejected(ssb_data):
+    with pytest.raises(PlanError):
+        partition_data(ssb_data, 0)
+
+
+# --------------------------------------------------------------------- #
+# hash partitioning
+# --------------------------------------------------------------------- #
+def test_hash_assignment_is_deterministic_and_total(ssb_data, hash_shards):
+    assert sum(s.data.lineorder.num_rows for s in hash_shards) == \
+        ssb_data.lineorder.num_rows
+    for k, shard in enumerate(hash_shards):
+        keys = shard.data.lineorder.column("orderkey").data.astype(np.int64)
+        assert np.all(keys % SHARDS == k)
+    again = partition_data(ssb_data, SHARDS, ShardScheme.HASH)
+    for a, b in zip(hash_shards, again):
+        assert np.array_equal(a.data.lineorder.column("orderkey").data,
+                              b.data.lineorder.column("orderkey").data)
+
+
+def test_hash_drops_the_sort_order(hash_shards):
+    for shard in hash_shards:
+        assert not shard.data.lineorder.sort_order
+
+
+def test_hash_shards_overlap_on_orderdate(hash_shards):
+    """Honest synopses: hash shards span the full date domain, so date
+    elimination cannot fire against them."""
+    intervals = [s.synopsis.range_of("orderdate") for s in hash_shards]
+    assert max(lo for lo, _hi in intervals) <= \
+        min(hi for _lo, hi in intervals)
+
+
+# --------------------------------------------------------------------- #
+# synopses
+# --------------------------------------------------------------------- #
+def test_synopsis_bounds_match_the_data(range_shards):
+    for shard in range_shards:
+        fact = shard.data.lineorder
+        assert shard.synopsis.bounds  # integer columns exist
+        for name, (lo, hi) in shard.synopsis.bounds.items():
+            column = fact.column(name)
+            assert column.dictionary is None
+            assert lo == int(column.data.min())
+            assert hi == int(column.data.max())
+
+
+def test_synopsis_skips_dictionary_columns(range_shards):
+    for shard in range_shards:
+        for column in shard.data.lineorder.columns():
+            if column.dictionary is not None:
+                assert column.name not in shard.synopsis.bounds
+
+
+def test_empty_synopsis_has_no_bounds():
+    empty = ShardSynopsis(0, 0, {})
+    assert empty.num_rows == 0
+    with pytest.raises(KeyError):
+        empty.range_of("orderdate")
+
+
+# --------------------------------------------------------------------- #
+# the single-shard degenerate case
+# --------------------------------------------------------------------- #
+def test_single_shard_is_the_whole_database(ssb_data):
+    [only] = partition_data(ssb_data, 1)
+    assert only.data.lineorder.num_rows == ssb_data.lineorder.num_rows
+    assert only.data.date is ssb_data.date  # dimensions shared by reference
+
+
+def test_single_shard_engine_is_byte_identical(ssb_data):
+    """An engine over the one-shard slice performs exactly the work of an
+    engine over the original database — same rows, same ledger."""
+    [only] = partition_data(ssb_data, 1)
+    base = CStore(ssb_data)
+    solo = CStore(only.data)
+    config = ExecutionConfig.baseline()
+    for name in ("Q1.1", "Q2.1", "Q3.1", "Q4.1"):
+        query = next(q for q in ALL_QUERIES if q.name == name)
+        base_run = base.execute(query, config)
+        solo_run = solo.execute(query, config)
+        assert solo_run.result.rows == base_run.result.rows, name
+        assert solo_run.stats.snapshot() == base_run.stats.snapshot(), name

@@ -85,6 +85,27 @@ def test_parse_rejects_trailing_garbage():
         parse("SELECT sum(x) FROM t GROUP")
 
 
+def test_parse_accepts_positive_limit():
+    assert parse("SELECT sum(x) FROM t LIMIT 5").limit == 5
+
+
+def test_parse_rejects_limit_zero():
+    with pytest.raises(SqlParseError, match="LIMIT"):
+        parse("SELECT sum(x) FROM t LIMIT 0")
+
+
+def test_parse_rejects_negative_limit():
+    # negative numbers lex as '-' + NUMBER; the parser must fold and
+    # reject them with the clause named, not choke on the symbol
+    with pytest.raises(SqlParseError, match="LIMIT.*-3"):
+        parse("SELECT sum(x) FROM t LIMIT -3")
+
+
+def test_parse_rejects_non_numeric_limit():
+    with pytest.raises(SqlParseError, match="LIMIT"):
+        parse("SELECT sum(x) FROM t LIMIT lots")
+
+
 def test_parse_rejects_missing_from():
     with pytest.raises(SqlParseError):
         parse("SELECT sum(x)")

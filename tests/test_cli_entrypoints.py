@@ -47,6 +47,34 @@ def test_bench_rejects_unknown_target():
         bench_main(["figure9"])
 
 
+def test_fault_profile_list_is_informational(capsys):
+    """``--fault-profile list`` is an informational exit: stdout, code 0,
+    no target required, no data generated."""
+    assert bench_main(["--fault-profile", "list"]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    for name in ("transient", "bitflip", "torn", "mixed", "persistent"):
+        assert name in captured.out
+
+
+def test_fault_profile_list_ignores_target(capsys):
+    # the listing wins even when a figure target is also present
+    assert bench_main(["figure5", "--fault-profile", "list"]) == 0
+    assert "transient" in capsys.readouterr().out
+
+
+def test_bench_rejects_bad_shards():
+    with pytest.raises(SystemExit):
+        bench_main(["figure5", "--sf", "0.004", "--shards", "0"])
+
+
+def test_bench_runs_sharded(capsys):
+    assert bench_main(["figure5", "--sf", "0.004", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 shards" in out
+    assert "Figure 5" in out
+
+
 def test_bench_requires_target_without_check():
     with pytest.raises(SystemExit):
         bench_main(["--sf", "0.004"])
@@ -110,6 +138,27 @@ def test_bench_check_baseline_conflicting_flags(tmp_path):
         bench_main(["figure7", "--check-baseline", str(path)])
     with pytest.raises(SystemExit):
         bench_main(["--sf", "0.05", "--check-baseline", str(path)])
+    # the artifact predates sharding, so it reads as shards=1 and a
+    # sharded check against it is a conflict, not a silent reinterpretation
+    with pytest.raises(SystemExit):
+        bench_main(["--shards", "4", "--check-baseline", str(path)])
+
+
+def test_bench_baseline_stamps_shards(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "baseline.json"
+    assert bench_main(["figure5", "--sf", "0.004", "--shards", "2",
+                       "--write-baseline", str(path)]) == 0
+    record = json.loads(path.read_text())
+    assert record["shards"] == 2
+    # the check re-runs at the stamped shard count and passes
+    assert bench_main(["--check-baseline", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 shards" in out
+    assert "baseline check passed" in out
+    with pytest.raises(SystemExit):
+        bench_main(["--shards", "4", "--check-baseline", str(path)])
 
 
 def test_bench_check_baseline_bad_artifact(tmp_path):

@@ -100,6 +100,15 @@ def test_error_line_is_structured(shell):
         out.startswith("error: SqlBindError:")
 
 
+def test_bad_limit_renders_on_one_line(shell):
+    for sql in ("SELECT count(*) AS n FROM lineorder LIMIT 0",
+                "SELECT count(*) AS n FROM lineorder LIMIT -2"):
+        out = shell.handle(sql)
+        assert "\n" not in out
+        assert out.startswith("error: SqlParseError:")
+        assert "LIMIT" in out
+
+
 def test_cache_toggle_and_stats(shell):
     assert "cache on" in shell.handle("\\cache on")
     first = shell.handle("Q1.2")
@@ -123,7 +132,8 @@ def test_serve_stats_show_resilience(shell):
     assert "shed=0" in stats
     assert "degraded_hits=0" in stats
     assert "breakers:" in stats
-    assert "cs/lineorder=closed" in stats
+    # breaker scopes carry the shard count (sh1 = the unsharded stack)
+    assert "cs/lineorder/1=closed" in stats
 
 
 def test_cache_off_by_default(ssb_data):

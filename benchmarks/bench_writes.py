@@ -1,0 +1,272 @@
+"""Delta-store writes: insert/delete mix vs read-only, tuple mover on/off.
+
+One experiment, one artifact (``BENCH_writes.json``): SSB flight 1 on
+both engines, through four phases:
+
+* **read-only** — a plain engine and a write-capable engine with no
+  pending delta run the same queries; their ledgers must be
+  **byte-identical** (the write path charges nothing until a write
+  lands).
+* **write mix** — a batch of fact inserts (cloned rows, so every FK
+  resolves) plus a ``quantity < 4`` delete is journaled into the WOS;
+  write throughput is priced by
+  :meth:`~repro.simio.stats.CostModel.write_seconds` over the write
+  ledger's journal appends.
+* **mover off (pre-move)** — flight 1 re-runs against base pages + the
+  pending delta (the ``wos-merge`` snapshot path); rows must be
+  identical to the reference engine on the effective tables, and every
+  run must report ``delta_rows_merged > 0``.
+* **mover on (post-move)** — the tuple mover drains the WOS into fresh
+  base pages; flight 1 re-runs must be **byte-identical in ledger** to a
+  cold-rebuilt engine loaded from the effective tables, and
+  row-identical to the pre-move reads.
+
+``--check`` runs at a tiny scale factor and exits nonzero if any
+contract fails.  CI calls this via ``benchmarks/smoke_baseline.sh``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_writes.py [--sf 0.05] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_writes.py --check [--sf 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+from repro.colstore.engine import CStore
+from repro.core.config import ExecutionConfig
+from repro.plan.logical import ColumnRef, CompareOp, Comparison
+from repro.reference import execute as reference_execute
+from repro.rowstore.designs import DesignKind
+from repro.rowstore.engine import SystemX
+from repro.simio.stats import QueryStats
+from repro.ssb.cache import load_or_generate
+from repro.ssb.generator import SsbData
+from repro.ssb.queries import ALL_QUERIES
+
+#: the write mix: clone this fraction of the fact table as inserts ...
+INSERT_FRACTION = 0.01
+#: ... and delete every fact row with quantity below this
+DELETE_BELOW_QUANTITY = 4
+
+CS_CONFIG = ExecutionConfig.from_label("tICL")
+CS_CONFIG_W = dataclasses.replace(CS_CONFIG, writes=True)
+RS_DESIGN = DesignKind.TRADITIONAL
+
+
+def flight1():
+    return [q for q in ALL_QUERIES if q.name.startswith("Q1.")]
+
+
+def _fact_insert_rows(data: SsbData, count: int) -> list:
+    """The first ``count`` lineorder rows as insert dicts (decoded
+    strings) — clones, so every foreign key resolves by construction."""
+    fact = data.lineorder
+    columns = {}
+    for field in fact.schema:
+        col = fact.column(field.name)
+        values = col.data[:count]
+        if col.dictionary is not None:
+            columns[field.name] = list(col.dictionary.decode(values))
+        else:
+            columns[field.name] = [int(v) for v in values]
+    return [{name: columns[name][i] for name in columns}
+            for i in range(count)]
+
+
+def _effective_data(engine) -> SsbData:
+    effective = engine._writes.effective_tables()
+    return SsbData(
+        scale_factor=engine.data.scale_factor,
+        seed=engine.data.seed,
+        lineorder=effective["lineorder"],
+        customer=effective["customer"],
+        supplier=effective["supplier"],
+        part=effective["part"],
+        date=effective["date"],
+    )
+
+
+def _ledger(run) -> dict:
+    return dataclasses.asdict(run.stats)
+
+
+def run_engine(kind: str, data: SsbData, problems: list) -> dict:
+    """All four phases for one engine; contract breaches go into
+    ``problems``."""
+    queries = flight1()
+    if kind == "cs":
+        plain = CStore(data)
+        writable = CStore(data)
+        run = lambda eng, q: eng.execute(q, CS_CONFIG_W)  # noqa: E731
+        run_ro = lambda eng, q: eng.execute(q, CS_CONFIG)  # noqa: E731
+    else:
+        plain = SystemX(data, designs=[RS_DESIGN])
+        writable = SystemX(data, designs=[RS_DESIGN], writes=True)
+        run = lambda eng, q: eng.execute(q, RS_DESIGN)  # noqa: E731
+        run_ro = run
+
+    record: dict = {"engine": kind}
+
+    # phase 1: read-only ledger identity, plain vs write-capable
+    read_only = {}
+    for query in queries:
+        base = run_ro(plain, query)
+        mirrored = run(writable, query)
+        read_only[query.name] = base.seconds
+        if _ledger(base) != _ledger(mirrored):
+            problems.append(
+                f"{kind}/{query.name}: write-capable engine with no "
+                f"pending delta charged a different ledger than the "
+                f"plain engine")
+    record["read_only_seconds"] = read_only
+
+    # phase 2: the write mix, priced as write seconds
+    inserts = _fact_insert_rows(
+        data, max(1, int(data.lineorder.num_rows * INSERT_FRACTION)))
+    delete_pred = [Comparison(ColumnRef("lineorder", "quantity"),
+                              CompareOp.LT, DELETE_BELOW_QUANTITY)]
+    wstats = QueryStats()
+    inserted = writable.insert("lineorder", inserts, wstats)
+    deleted = writable.delete("lineorder", delete_pred, wstats)
+    write_seconds = writable.cost_model.write_seconds(wstats)
+    record["write"] = {
+        "rows_inserted": inserted,
+        "rows_deleted": deleted,
+        "journal_pages": wstats.journal_pages,
+        "write_seconds": write_seconds,
+        "rows_per_second": (inserted + deleted) / write_seconds
+        if write_seconds else 0.0,
+    }
+    if wstats.journal_pages <= 0:
+        problems.append(f"{kind}: the write mix appended no journal pages")
+
+    # phase 3: mover off — snapshot reads over base + pending delta
+    reference_tables = writable._writes.effective_tables()
+    pre_move = {}
+    pre_rows = {}
+    for query in queries:
+        merged = run(writable, query)
+        pre_move[query.name] = {
+            "seconds": merged.seconds,
+            "delta_rows_merged": merged.stats.delta_rows_merged,
+        }
+        pre_rows[query.name] = merged.result.rows
+        oracle = reference_execute(reference_tables, query)
+        if merged.result.rows != oracle.rows:
+            problems.append(
+                f"{kind}/{query.name}: pre-move merge read deviates from "
+                f"the reference on the effective tables")
+        if merged.stats.delta_rows_merged <= 0:
+            problems.append(
+                f"{kind}/{query.name}: merge read reported no "
+                f"delta_rows_merged despite a pending fact delta")
+    record["pre_move"] = pre_move
+
+    # phase 4: mover on — drain, then compare against a cold rebuild
+    rebuild_data = _effective_data(writable)
+    pending = writable.pending_writes()
+    mstats = QueryStats()
+    moved = writable.move(mstats)
+    move_seconds = writable.cost_model.write_seconds(mstats)
+    record["move"] = {
+        "rows_moved": moved,
+        "write_seconds": move_seconds,
+        "rows_per_second": moved / move_seconds if move_seconds else 0.0,
+        "journal_pages": mstats.journal_pages,
+    }
+    # a delete that hits a WOS insert annihilates it, so the mover's
+    # count is the store's pending tally, not inserted + deleted
+    if moved != pending or moved <= 0:
+        problems.append(
+            f"{kind}: mover drained {moved} rows, expected {pending}")
+    if mstats.moves != 1:
+        problems.append(f"{kind}: move ledger counted {mstats.moves} "
+                        f"moves, expected 1")
+
+    if kind == "cs":
+        rebuilt = CStore(rebuild_data)
+    else:
+        rebuilt = SystemX(rebuild_data, designs=[RS_DESIGN], writes=True)
+    post_move = {}
+    for query in queries:
+        after = run(writable, query)
+        cold = run(rebuilt, query)
+        post_move[query.name] = after.seconds
+        if after.result.rows != pre_rows[query.name]:
+            problems.append(
+                f"{kind}/{query.name}: post-move rows differ from the "
+                f"pre-move snapshot at the same epoch")
+        if _ledger(after) != _ledger(cold):
+            problems.append(
+                f"{kind}/{query.name}: post-move ledger is not "
+                f"byte-identical to a cold rebuild from the effective "
+                f"tables")
+    record["post_move_seconds"] = post_move
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=0.05,
+                        help="scale factor (default 0.05)")
+    parser.add_argument("--out", default="BENCH_writes.json",
+                        help="output path (default BENCH_writes.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the write contracts and exit (no "
+                             "artifact written); meant for CI at a small "
+                             "--sf")
+    args = parser.parse_args(argv)
+
+    print(f"generating SSB data at SF {args.sf} ...")
+    data = load_or_generate(args.sf)
+    problems: list = []
+    engines = [run_engine("cs", data, problems),
+               run_engine("rs", data, problems)]
+
+    if args.check:
+        if problems:
+            print(f"WRITES CHECK FAILED — {len(problems)} problem(s):")
+            for message in problems:
+                print(f"  {message}")
+            return 1
+        cells = sum(len(e["pre_move"]) for e in engines)
+        print(f"writes check passed: {cells} merge read(s); read-only "
+              f"ledgers byte-identical with the write path present, "
+              f"pre-move reads match the reference, post-move reads "
+              f"byte-identical to a cold rebuild")
+        return 0
+
+    report = {
+        "scale_factor": args.sf,
+        "insert_fraction": INSERT_FRACTION,
+        "delete_below_quantity": DELETE_BELOW_QUANTITY,
+        "engines": engines,
+        "guarantees_hold": not problems,
+        "problems": problems,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"\n{'engine':7s} {'ins':>7s} {'del':>7s} {'journal':>8s} "
+          f"{'write rows/s':>13s} {'move rows/s':>12s}")
+    for cell in engines:
+        write, move = cell["write"], cell["move"]
+        print(f"{cell['engine']:7s} {write['rows_inserted']:7d} "
+              f"{write['rows_deleted']:7d} {write['journal_pages']:8d} "
+              f"{write['rows_per_second']:13.0f} "
+              f"{move['rows_per_second']:12.0f}")
+    if problems:
+        print(f"\nWARNING — {len(problems)} guarantee violation(s):")
+        for message in problems:
+            print(f"  {message}")
+    print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,12 @@
 # fact shards are so small that the per-shard dimension replicas
 # dominate the page counts and the strict win is not expected.
 #
+# benchmarks/bench_writes.py --check asserts the delta-store contract:
+# read-only ledgers byte-identical with the write path present,
+# pre-move merge reads row-identical to the reference over the
+# effective tables, and post-move reads byte-identical in ledger to a
+# cold rebuild.
+#
 # Usage:  sh benchmarks/smoke_baseline.sh  (from the repo root)
 set -e
 
@@ -42,5 +48,6 @@ done
 PYTHONPATH=src python benchmarks/bench_zonemaps.py --check --sf "$SF"
 PYTHONPATH=src python benchmarks/bench_resilience.py --check --sf "$SF"
 PYTHONPATH=src python benchmarks/bench_sharding.py --check --sf 0.01
+PYTHONPATH=src python benchmarks/bench_writes.py --check --sf 0.01
 echo "smoke_baseline: OK (sf $SF, zone maps off+on, resilience," \
-     "sharding checks)"
+     "sharding, writes checks)"

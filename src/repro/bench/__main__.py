@@ -82,6 +82,11 @@ def main(argv=None) -> int:
                              "(default 1 = single stack; results never "
                              "change, only how work is partitioned and "
                              "eliminated — see docs/sharding.md)")
+    parser.add_argument("--writes", default=None, choices=["on", "off"],
+                        help="build write-capable engines with MVCC "
+                             "snapshot reads opted in (default off; with "
+                             "no pending delta the ledgers are "
+                             "byte-identical — see docs/writes.md)")
     parser.add_argument("--out", default=None,
                         help="output path for the 'report' target "
                              "(default: stdout)")
@@ -150,12 +155,14 @@ def main(argv=None) -> int:
                       fault_profile=args.fault_profile,
                       fault_seed=args.fault_seed,
                       zone_maps=args.zone_maps == "on",
-                      shards=args.shards)
+                      shards=args.shards,
+                      writes=args.writes == "on")
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}"
           + (", zone maps on" if harness.zone_maps else "")
-          + (f", {harness.shards} shards" if harness.shards > 1 else ""))
+          + (f", {harness.shards} shards" if harness.shards > 1 else "")
+          + (", writes on" if harness.writes else ""))
 
     if args.target == "breakdown":
         from ..core.config import ExecutionConfig
@@ -223,7 +230,8 @@ def main(argv=None) -> int:
                                    scale_factor=harness.scale_factor,
                                    workers=harness.workers,
                                    zone_maps=harness.zone_maps,
-                                   shards=harness.shards)
+                                   shards=harness.shards,
+                                   writes=harness.writes)
                     print(f"\nwrote baseline {args.write_baseline}")
             print(f"\n[{target} regenerated in "
                   f"{time.time() - started:.1f}s wall clock]")
@@ -253,7 +261,8 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
                       fault_profile=args.fault_profile,
                       fault_seed=args.fault_seed,
                       zone_maps=args.zone_maps == "on",
-                      shards=args.shards)
+                      shards=args.shards,
+                      writes=args.writes == "on")
     print(f"scale factor {harness.scale_factor} "
           f"({int(6_000_000 * harness.scale_factor)} fact rows), "
           f"seed {harness.seed}")
@@ -294,17 +303,25 @@ def _run_check_baseline(parser: argparse.ArgumentParser, args) -> int:
     if args.shards != 1 and args.shards != baseline_shards:
         parser.error(f"--shards {args.shards} conflicts with the "
                      f"baseline's setting {baseline_shards}")
+    # pre-write-store artifacts read as writes-off (same rule)
+    baseline_writes = baseline.get("writes", False)
+    if args.writes is not None and \
+            (args.writes == "on") != baseline_writes:
+        parser.error(f"--writes {args.writes} conflicts with the "
+                     f"baseline's setting {baseline_writes}")
     harness = Harness(scale_factor=baseline["scale_factor"],
                       verify_against_reference=args.verify,
                       workers=baseline["workers"],
                       fault_profile=args.fault_profile,
                       fault_seed=args.fault_seed,
                       zone_maps=baseline.get("zone_maps", False),
-                      shards=baseline_shards)
+                      shards=baseline_shards,
+                      writes=baseline_writes)
     print(f"checking {figure} against {args.check_baseline} "
           f"(sf {harness.scale_factor}, {harness.workers} worker(s)"
           + (", zone maps on" if harness.zone_maps else "")
           + (f", {harness.shards} shards" if harness.shards > 1 else "")
+          + (", writes on" if harness.writes else "")
           + ")")
     grid = _FIGURES[figure][0](harness)
     regressions = check_against_baseline(grid, baseline)

@@ -32,7 +32,7 @@ DEFAULT_TOLERANCE = 0.02
 
 def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
                     workers: int, zone_maps: bool = False,
-                    shards: int = 1) -> Dict:
+                    shards: int = 1, writes: bool = False) -> Dict:
     """The grid as a JSON-ready dict (stable key order)."""
     grid.validate_aligned()
     return {
@@ -42,6 +42,7 @@ def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
         "workers": workers,
         "zone_maps": zone_maps,
         "shards": shards,
+        "writes": writes,
         "series": {
             label: {q: seconds for q, seconds in sorted(values.items())}
             for label, values in grid.series.items()
@@ -51,10 +52,12 @@ def baseline_record(grid: RunGrid, *, figure: str, scale_factor: float,
 
 def write_baseline(path: str, grid: RunGrid, *, figure: str,
                    scale_factor: float, workers: int,
-                   zone_maps: bool = False, shards: int = 1) -> None:
+                   zone_maps: bool = False, shards: int = 1,
+                   writes: bool = False) -> None:
     record = baseline_record(grid, figure=figure,
                              scale_factor=scale_factor, workers=workers,
-                             zone_maps=zone_maps, shards=shards)
+                             zone_maps=zone_maps, shards=shards,
+                             writes=writes)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
@@ -76,7 +79,9 @@ def load_baseline(path: str) -> Dict:
             raise BenchmarkError(f"baseline {path!r} is missing {key!r}")
     # "zone_maps" is optional — pre-synopsis artifacts omit it and are
     # interpreted as zone-maps-off (which is what they measured).
-    # "shards" likewise: pre-sharding artifacts read as shards=1.
+    # "shards" likewise: pre-sharding artifacts read as shards=1, and
+    # pre-write-store artifacts as writes-off (read-only, byte-identical
+    # to a writes-enabled engine with no pending delta).
     return record
 
 

@@ -111,7 +111,8 @@ class Harness:
                  fault_profile: Optional[str] = None,
                  fault_seed: int = 0,
                  zone_maps: bool = False,
-                 shards: int = 1) -> None:
+                 shards: int = 1,
+                 writes: bool = False) -> None:
         self.scale_factor = (scale_factor if scale_factor is not None
                              else scale_factor_from_env())
         self.seed = seed
@@ -125,6 +126,10 @@ class Harness:
         #: scatter-gather shard count on both engines (1 = the unchanged
         #: single-stack path; results are invariant, see docs/sharding.md)
         self.shards = shards
+        #: build write-capable engines and run column-store queries with
+        #: MVCC snapshot reads opted in (see docs/writes.md).  With no
+        #: pending delta, on/off ledgers are byte-identical.
+        self.writes = writes
         #: optional seeded fault schedule installed on each engine's disk
         #: right after it is built (see :mod:`repro.simio.faults`);
         #: tables loaded later (e.g. denormalized ones) are not corrupted
@@ -165,7 +170,8 @@ class Harness:
         if self._system_x is None:
             self._system_x = SystemX(self.data, designs=list(designs),
                                      zone_maps=self.zone_maps,
-                                     shards=self.shards)
+                                     shards=self.shards,
+                                     writes=self.writes)
             self._built_designs = set(designs)
             self._install_faults(self._system_x.disk)
         else:
@@ -235,6 +241,8 @@ class Harness:
             config = replace(config, zone_maps=True)
         if self.shards > 1 and config.shards != self.shards:
             config = replace(config, shards=self.shards)
+        if self.writes and not config.writes:
+            config = replace(config, writes=True)
         run = self.cstore().execute(query, config)
         self._check(query, run.result)
         self._emit_trace(run, "colstore", config.label, query.name)

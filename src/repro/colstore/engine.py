@@ -15,8 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ChecksumError, CorruptPageError, PlanError
-from ..obs import Trace, Tracer
+from ..errors import ChecksumError, CorruptPageError, PlanError, WriteError
+from ..obs import Span, Trace, Tracer, span_context
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.buffer_pool import BufferPool
@@ -89,6 +89,7 @@ class CStore:
         row_mv: bool = False,
         cost_model: CostModel = PAPER_2008,
         buffer_pool_bytes: Optional[int] = None,
+        fault_injector=None,
     ) -> None:
         self.data = data
         self.cost_model = cost_model
@@ -100,7 +101,15 @@ class CStore:
         self._pool_bytes = buffer_pool_bytes
         #: shard count -> [(FactShard, child CStore)], built lazily
         self._shard_sets: Dict[int, List[Tuple[object, "CStore"]]] = {}
+        #: lazily created delta store (first accepted write); None means
+        #: this engine has never seen a write
+        self._writes = None
+        #: write epoch the current base pages (and their zone-map
+        #: sidecars) reflect; bumped by the tuple mover
+        self._zm_epoch = 0
         self.disk = SimulatedDisk()
+        # installed before any load so shadow rebuilds are fault-injectable
+        self.disk.fault_injector = fault_injector
         self.pool = BufferPool(self.disk, buffer_pool_bytes)
         self._projections: Dict[Tuple[str, CompressionLevel],
                                 List[Projection]] = {}
@@ -202,6 +211,7 @@ class CStore:
         level: Optional[CompressionLevel] = None,
         cold_pool: bool = True,
         cancellation=None,
+        _visibility=None,
     ) -> ColumnStoreRun:
         """Run ``query`` under ``config`` on a fresh ledger.
 
@@ -228,10 +238,30 @@ class CStore:
         disk array, shard elimination runs before any I/O, and the
         returned run carries the merged ledger and span tree (see
         ``docs/sharding.md``).
+
+        When the engine holds pending writes the run becomes a snapshot
+        read pinned at the current epoch (see ``docs/writes.md``):
+        pending deletes patch base-scan positions in place, and visible
+        WOS fact inserts add a ``wos-merge`` partial combined through
+        the scatter-gather merger.  Requires ``config.writes``; a
+        read-only config against a dirty engine raises
+        :class:`~repro.errors.WriteError` rather than answering wrong.
         """
+        ws = self._writes
+        if _visibility is None and ws is not None and ws.has_pending():
+            if not config.writes:
+                raise WriteError(
+                    "engine holds pending writes; enable "
+                    "ExecutionConfig.writes or run the tuple mover first"
+                )
+            vis = ws.visibility()
+            if vis.needs_merge:
+                return self._execute_merge(query, config, level, cold_pool,
+                                           cancellation, vis)
+            _visibility = vis
         if config.shards > 1:
             return self._execute_sharded(query, config, level, cold_pool,
-                                         cancellation)
+                                         cancellation, _visibility)
         forbidden: set = set()
         recoveries = 0
         saved_cancellation = self.disk.cancellation
@@ -249,7 +279,8 @@ class CStore:
                     self.disk.reset_head()
                 tracer = Tracer(stats, self.cost_model)
                 planner = ColumnPlanner(self._context(forbidden), config,
-                                        level, tracer=tracer)
+                                        level, tracer=tracer,
+                                        visibility=_visibility)
                 try:
                     result = planner.run(query)
                 except ChecksumError as error:
@@ -303,6 +334,7 @@ class CStore:
         level: Optional[CompressionLevel],
         cold_pool: bool,
         cancellation,
+        visibility=None,
     ) -> ColumnStoreRun:
         from ..shard.executor import scatter_gather
 
@@ -310,15 +342,70 @@ class CStore:
         child_config = replace(config, shards=1)
 
         def execute_one(k: int, shard_query: StarQuery) -> ColumnStoreRun:
+            child_vis = None
+            if visibility is not None and visibility.needs_patching:
+                # slice the database-wide deleted mask down to this
+                # shard's fact rows (shard positions index the unsharded
+                # fact table)
+                from ..write.store import Visibility
+
+                shard = children[k][0]
+                mask = visibility.fact_deleted[shard.positions]
+                if bool(mask.any()):
+                    child_vis = Visibility(
+                        epoch=visibility.epoch, store=visibility.store,
+                        fact_deleted=mask)
             return children[k][1].execute(
                 shard_query, child_config, level=level, cold_pool=cold_pool,
-                cancellation=cancellation)
+                cancellation=cancellation, _visibility=child_vis)
 
         result, stats, trace, report = scatter_gather(
             query, [shard.synopsis for shard, _engine in children],
             self.data.date, execute_one, self.cost_model)
         return ColumnStoreRun(result, stats, self.cost_model.cost(stats),
                               trace=trace, shard_report=report)
+
+    # ------------------------------------------------------------------ #
+    # snapshot reads over pending inserts (WOS merge)
+    # ------------------------------------------------------------------ #
+    def _execute_merge(
+        self,
+        query: StarQuery,
+        config: ExecutionConfig,
+        level: Optional[CompressionLevel],
+        cold_pool: bool,
+        cancellation,
+        vis,
+    ) -> ColumnStoreRun:
+        """Base run plus a WOS delta partial, combined like one more
+        shard.  The scatter rewrite makes the partials mergeable (AVG as
+        SUM+COUNT, hidden row counts for scalar MIN/MAX), and the merged
+        trace carries the delta's compute under a ``wos-merge`` span."""
+        from ..shard.executor import gather, shard_plan
+        from ..write.delta import delta_partial
+
+        spec = shard_plan(query)
+        base_run = self.execute(spec.shard_query, config, level=level,
+                                cold_pool=cold_pool,
+                                cancellation=cancellation, _visibility=vis)
+        delta_stats = QueryStats()
+        partial = delta_partial(spec.shard_query, vis.delta_tables(),
+                                delta_stats)
+        result = gather(query, spec, [base_run.result, partial])
+        merged = QueryStats(**base_run.stats.snapshot())
+        merged.merge(delta_stats)
+        spans = [
+            Span("base-store", QueryStats(**base_run.stats.snapshot()),
+                 base_run.cost, children=[base_run.trace.root]),
+            Span("wos-merge", QueryStats(**delta_stats.snapshot()),
+                 self.cost_model.cost(delta_stats)),
+        ]
+        root = Span("query", QueryStats(**merged.snapshot()),
+                    self.cost_model.cost(merged), children=spans)
+        trace = Trace(root).verify(merged)
+        return ColumnStoreRun(result, merged, self.cost_model.cost(merged),
+                              trace=trace,
+                              shard_report=base_run.shard_report)
 
     def _plan_recovery(self, error: ChecksumError, forbidden: set,
                        recoveries: int) -> Tuple[set, int]:
@@ -342,6 +429,125 @@ class CStore:
             error.file, error.page_no, error.disk_no,
             detail="no redundant projection covers this file",
         ) from error
+
+    # ------------------------------------------------------------------ #
+    # writes: WOS delegation and the tuple mover
+    # ------------------------------------------------------------------ #
+    def _write_store(self):
+        if self._writes is None:
+            from ..write.store import WriteStore
+
+            self._writes = WriteStore(dict(self.data.tables))
+            # journal faults come from the same injector as data faults
+            self._writes.journal.disk.fault_injector = \
+                self.disk.fault_injector
+        return self._writes
+
+    def insert(self, table: str, rows, stats: Optional[QueryStats] = None,
+               tracer: Optional[Tracer] = None) -> int:
+        """Validate, journal, and buffer ``rows`` into the WOS.
+        All-or-nothing; returns rows accepted."""
+        if stats is None:
+            stats = QueryStats()
+        return self._write_store().insert(table, rows, stats, tracer)
+
+    def delete(self, table: str, predicates,
+               stats: Optional[QueryStats] = None,
+               tracer: Optional[Tracer] = None) -> int:
+        """Mark matching rows deleted as of a fresh epoch (dimension
+        deletes are RESTRICTed while referenced).  Returns rows marked."""
+        if stats is None:
+            stats = QueryStats()
+        return self._write_store().delete(table, predicates, stats, tracer)
+
+    def pending_writes(self) -> int:
+        """Rows the tuple mover would merge right now (0 = clean)."""
+        return 0 if self._writes is None else self._writes.pending_rows()
+
+    def snapshot_tables(self):
+        """The tables a reference oracle should replay: the current base
+        merged with any pending delta (post-move, the adopted base)."""
+        if self._writes is None:
+            return self.data.tables
+        return self._writes.effective_tables()
+
+    @property
+    def write_epoch(self) -> int:
+        return 0 if self._writes is None else self._writes.epoch
+
+    def move(self, stats: Optional[QueryStats] = None,
+             tracer: Optional[Tracer] = None) -> int:
+        """The tuple mover: drain the WOS into fresh base pages.
+
+        Builds a complete shadow engine from the effective tables (the
+        cold-rebuild order, so post-move reads are byte-identical to a
+        rebuild), retrying transient write faults with the journal's
+        backoff schedule, then swaps it in atomically and advances the
+        merge horizon.  All shadow-build I/O is charged to ``stats``
+        under a ``tuple-move`` span.  On failure the serving store is
+        untouched.  Returns the number of rows merged.
+        """
+        ws = self._writes
+        if ws is None or not ws.has_pending():
+            return 0
+        if stats is None:
+            stats = QueryStats()
+        from ..errors import TransientIOError, WriteFaultError
+        from ..simio.buffer_pool import _backoff_us
+        from ..write.journal import MAX_WRITE_RETRIES
+
+        moved = ws.pending_rows()
+        effective = ws.effective_tables()
+        data = SsbData(
+            scale_factor=self.data.scale_factor,
+            seed=self.data.seed,
+            lineorder=effective["lineorder"],
+            customer=effective["customer"],
+            supplier=effective["supplier"],
+            part=effective["part"],
+            date=effective["date"],
+        )
+        from ..synopsis import stamp_sidecars
+
+        with span_context(tracer, "tuple-move"):
+            shadow = None
+            for attempt in range(1, MAX_WRITE_RETRIES + 1):
+                try:
+                    shadow = CStore(
+                        data, levels=self._levels,
+                        row_mv=bool(self._row_mv),
+                        cost_model=self.cost_model,
+                        buffer_pool_bytes=self._pool_bytes,
+                        fault_injector=self.disk.fault_injector)
+                    # stamp the shadow's sidecars with the merged epoch
+                    # so the scrubber can tell drift from pending delta
+                    stamp_sidecars(shadow.disk, ws.epoch)
+                    break
+                except TransientIOError as exc:
+                    stats.io_retries += 1
+                    stats.retry_backoff_us += _backoff_us(attempt)
+                    if attempt == MAX_WRITE_RETRIES:
+                        raise WriteFaultError(
+                            f"tuple move failed after {MAX_WRITE_RETRIES} "
+                            f"shadow-build attempts: {exc}"
+                        ) from exc
+            stats.merge(shadow.disk.stats)
+            ws.journal.append({"op": "move", "epoch": ws.epoch,
+                               "rows": moved}, stats, tracer)
+            self.data = shadow.data
+            self.disk = shadow.disk
+            self.pool = shadow.pool
+            self._projections = shadow._projections
+            self._tables = shadow._tables
+            self._contiguous = shadow._contiguous
+            self._monotonic = shadow._monotonic
+            self._row_mv = shadow._row_mv
+            self._shard_sets = {}
+            self.disk.stats = QueryStats()
+            ws.complete_move(effective)
+            self._zm_epoch = ws.epoch
+            stats.moves += 1
+        return moved
 
     def storage_bytes(self) -> int:
         return self.disk.total_bytes
@@ -402,6 +608,11 @@ class CStore:
     def execute_row_mv(self, query: StarQuery) -> ColumnStoreRun:
         """Figure 5's "CS (Row-MV)": scan the row-blob column, reconstruct
         tuples, then run the row-style pipeline (no partition pruning)."""
+        if self._writes is not None and self._writes.has_pending():
+            raise WriteError(
+                "row-MV execution does not support pending writes; "
+                "run the tuple mover first"
+            )
         try:
             return self._execute_row_mv(query)
         except ChecksumError as error:

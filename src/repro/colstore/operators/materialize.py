@@ -106,15 +106,20 @@ def row_pipeline(
     fact_pred_domains: Sequence[Tuple[str, object]],
     dims: Sequence[DimensionRows],
     stats: QueryStats,
+    num_rows: Optional[int] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray], List[Optional[str]]]:
     """Row-store-style tail over constructed tuples.
 
     Returns (group arrays raw, aggregate input arrays, group source
     dimension per group column — None for fact columns).  The caller
-    consolidates and decodes.
+    consolidates and decodes.  ``num_rows`` supplies the tuple count
+    when the plan references no fact columns at all (a bare
+    ``count(*)``), where ``fact_arrays`` cannot speak for it.
     """
     columns = dict(fact_arrays)
     n = construct_tuples(columns, stats)
+    if not columns and num_rows is not None:
+        n = num_rows
 
     # per-tuple selection
     mask = np.ones(n, dtype=bool)
@@ -146,7 +151,7 @@ def row_pipeline(
             dim_attr_values[(dim.dimension, attr)] = gathered
 
     # per-tuple aggregation inputs
-    rows_final = len(next(iter(columns.values()))) if columns else 0
+    rows_final = len(next(iter(columns.values()))) if columns else n
     agg_arrays = [
         np.ones(rows_final, dtype=np.int64) if agg.func == "count"
         else _eval_expr_rowwise(agg.expr, columns, stats)

@@ -133,7 +133,8 @@ class ColumnPlanner:
 
     def __init__(self, ctx: StoreContext, config: ExecutionConfig,
                  level: Optional[CompressionLevel] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 visibility=None) -> None:
         self.ctx = ctx
         self.config = config
         self.level = level if level is not None else (
@@ -142,6 +143,24 @@ class ColumnPlanner:
         #: optional span tracer (tracing is passive: ledgers are
         #: byte-identical with or without one attached)
         self.tracer = tracer
+        #: optional :class:`~repro.write.store.Visibility` — a snapshot
+        #: read with pending deletes patches base-scan positions; None
+        #: (every read-only run) leaves all plan paths untouched
+        self.visibility = visibility
+
+    def _deleted_positions(self, query: StarQuery,
+                           fact_proj: Projection) -> Optional[np.ndarray]:
+        """Deleted fact rows mapped into ``fact_proj``'s position space,
+        or None when this run needs no patching."""
+        if self.visibility is None or not self.visibility.needs_patching:
+            return None
+        from ..write.store import projection_deleted_positions
+
+        return projection_deleted_positions(
+            self.ctx.tables[query.fact_table],
+            fact_proj.sort_order.keys,
+            self.visibility.fact_deleted,
+        )
 
     def _span(self, name: str):
         return span_context(self.tracer, name)
@@ -268,6 +287,20 @@ class ColumnPlanner:
                         self.level, fact_catalog, engine=self.engine,
                         tracer=self.tracer)
         survivors, dim_rows = join.run()
+        deleted = self._deleted_positions(query, fact_proj)
+        if deleted is not None and len(deleted):
+            # MVCC patch: drop surviving positions whose base row is
+            # deleted as of the pinned epoch, keeping the per-survivor
+            # dimension row indices aligned.  One position op per
+            # survivor checked (the membership probe).
+            self.stats.position_ops += survivors.count
+            arr = survivors.to_array()
+            keep = ~np.isin(arr, deleted)
+            if not keep.all():
+                from .positions import ArrayPositions
+
+                survivors = ArrayPositions(arr[keep])
+                dim_rows = {d: rows[keep] for d, rows in dim_rows.items()}
         # kept for EXPLAIN: the join's run-time decisions
         self.last_join = join
         self.last_survivors = survivors.count
@@ -390,6 +423,17 @@ class ColumnPlanner:
                                self.config)
                 for c in needed
             }
+        deleted = self._deleted_positions(query, fact_proj)
+        live_rows = fact_proj.num_rows
+        if deleted is not None and len(deleted):
+            # MVCC patch: early materialization reads whole columns in
+            # projection order, so deleted rows are masked before the
+            # row pipeline sees them (one position op per stored row)
+            live = np.ones(fact_proj.num_rows, dtype=bool)
+            live[deleted] = False
+            self.stats.position_ops += fact_proj.num_rows
+            fact_arrays = {c: arr[live] for c, arr in fact_arrays.items()}
+            live_rows = int(np.count_nonzero(live))
         pred_domains = [
             (p.column, stored_bounds(
                 p, self.ctx.catalog_column(query.fact_table, p.column),
@@ -401,7 +445,8 @@ class ColumnPlanner:
                     for d in query.dimensions_used()]
         with self._span("row-pipeline"):
             group_raw, agg_arrays, _group_dims = row_pipeline(
-                query, fact_arrays, pred_domains, dims, self.stats)
+                query, fact_arrays, pred_domains, dims, self.stats,
+                num_rows=live_rows)
 
         from ..plan.aggregates import (
             finalize as finalize_agg,

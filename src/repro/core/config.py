@@ -67,6 +67,13 @@ class ExecutionConfig:
     #: of the four-letter label: like ``workers``, it never changes the
     #: rows — only how the work is partitioned and eliminated.
     shards: int = 1
+    #: MVCC snapshot reads over the write store's delta (see
+    #: ``docs/writes.md``).  False (default) takes the unchanged
+    #: read-only code path; a store with *pending* writes refuses the
+    #: read-only path with a typed error rather than silently dropping
+    #: the delta.  Not part of the four-letter label: with no pending
+    #: writes, on/off are byte-identical.
+    writes: bool = False
 
     def __post_init__(self) -> None:
         if self.invisible_join and not self.late_materialization:

@@ -174,6 +174,36 @@ class BreakerOpenError(ServeError):
         self.scope = scope
 
 
+class WriteError(ReproError):
+    """Base class for errors raised by the :mod:`repro.write` layer."""
+
+
+class IntegrityError(WriteError):
+    """A write violates schema or foreign-key integrity.
+
+    Raised before anything is journaled or buffered: a rejected write
+    leaves the write store exactly as it was.
+    """
+
+
+class SnapshotTooOldError(WriteError):
+    """A pinned read epoch predates the tuple mover's merge horizon.
+
+    Once the mover drains the WOS into new base pages, epochs older than
+    the merge horizon can no longer be reconstructed; readers must pin a
+    fresh epoch and retry.
+    """
+
+
+class WriteFaultError(StorageError):
+    """A journal or base-page write failed after exhausting its retries.
+
+    The write path is all-or-nothing: on this error the read store (and
+    for a failed tuple move, the old epoch) is untouched and still
+    serves correct rows.
+    """
+
+
 class TraceInvariantError(ReproError):
     """A query's span tree does not sum to its flat ledger.
 

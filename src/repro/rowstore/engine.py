@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import ChecksumError, CorruptPageError, PlanError
-from ..obs import Trace, Tracer
+from ..errors import ChecksumError, CorruptPageError, PlanError, WriteError
+from ..obs import Span, Trace, Tracer, span_context
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.buffer_pool import BufferPool
@@ -78,6 +78,13 @@ class SystemX:
         self-contained shards, each a complete child ``SystemX`` on its
         own disk array (see ``docs/sharding.md``).  1 (default) keeps
         the unchanged single-stack path.
+    writes:
+        Opt in to snapshot reads over pending writes.  System X has no
+        per-query config object, so this engine-level flag plays the
+        role :attr:`~repro.core.config.ExecutionConfig.writes` plays for
+        the column store: with it off (default), a query against an
+        engine holding pending writes raises
+        :class:`~repro.errors.WriteError` rather than answering wrong.
     """
 
     def __init__(
@@ -89,6 +96,8 @@ class SystemX:
         join_memory_bytes: Optional[int] = None,
         zone_maps: bool = False,
         shards: int = 1,
+        writes: bool = False,
+        fault_injector=None,
     ) -> None:
         if shards < 1:
             raise PlanError(f"shards must be >= 1, got {shards}")
@@ -96,8 +105,15 @@ class SystemX:
         self.cost_model = cost_model
         self.zone_maps = zone_maps
         self.shards = shards
+        self.writes = writes
         #: [(FactShard, child SystemX)], built lazily on first sharded run
         self._shard_children: Optional[List[Tuple[object, "SystemX"]]] = None
+        #: lazily created delta store (first accepted write); None means
+        #: this engine has never seen a write
+        self._writes = None
+        #: write epoch the current artifacts (and their zone-map
+        #: sidecars) reflect; bumped by the tuple mover
+        self._zm_epoch = 0
         scale = data.scale_factor / PAPER_SCALE_FACTOR
         if buffer_pool_bytes is None:
             buffer_pool_bytes = max(MIN_POOL_BYTES,
@@ -107,6 +123,8 @@ class SystemX:
                                     int(PAPER_JOIN_MEMORY_BYTES * scale))
         self._pool_bytes = buffer_pool_bytes
         self.disk = SimulatedDisk()
+        # installed before any build so shadow rebuilds are fault-injectable
+        self.disk.fault_injector = fault_injector
         self.pool = BufferPool(self.disk, buffer_pool_bytes)
         self.join_memory_bytes = join_memory_bytes
         # ANALYZE at load time: the planner orders joins from these
@@ -152,6 +170,7 @@ class SystemX:
         vp_super_tuples: bool = False,
         cold_pool: bool = True,
         cancellation=None,
+        _visibility=None,
     ) -> RowStoreRun:
         """Run ``query`` under ``design`` on a fresh ledger.
 
@@ -167,17 +186,41 @@ class SystemX:
         (Section 6.1).  ``cancellation`` installs a cooperative
         :class:`~repro.serve.resilience.CancellationToken` checked at
         page boundaries (typed
-        :class:`~repro.errors.QueryCancelledError`)."""
+        :class:`~repro.errors.QueryCancelledError`).
+
+        When the engine holds pending writes the run becomes a snapshot
+        read pinned at the current epoch (see ``docs/writes.md``):
+        pending deletes hide fact tuples from scans in place, and
+        visible WOS fact inserts add a ``wos-merge`` partial combined
+        through the scatter-gather merger.  Requires the engine-level
+        ``writes`` flag; a read-only engine with pending writes raises
+        :class:`~repro.errors.WriteError` rather than answering wrong.
+        """
         if design not in self._built:
             raise PlanError(
                 f"design {design.value} was not built; available: "
                 f"{[d.value for d in self.designs]}"
             )
+        ws = self._writes
+        if _visibility is None and ws is not None and ws.has_pending():
+            if not self.writes:
+                raise WriteError(
+                    "engine holds pending writes; enable SystemX(writes=) "
+                    "or run the tuple mover first"
+                )
+            vis = ws.visibility()
+            if vis.needs_merge:
+                return self._execute_merge(
+                    query, design, prune_partitions=prune_partitions,
+                    vp_join=vp_join, vp_super_tuples=vp_super_tuples,
+                    cold_pool=cold_pool, cancellation=cancellation, vis=vis)
+            _visibility = vis
         if self.shards > 1:
             return self._execute_sharded(
                 query, design, prune_partitions=prune_partitions,
                 vp_join=vp_join, vp_super_tuples=vp_super_tuples,
-                cold_pool=cold_pool, cancellation=cancellation)
+                cold_pool=cold_pool, cancellation=cancellation,
+                visibility=_visibility)
         if vp_super_tuples and not self.artifacts.vp_super_heaps:
             DesignBuilder(self.disk, self.data) \
                 .build_super_vertical_partitions(self.artifacts)
@@ -194,7 +237,8 @@ class SystemX:
         tracer = Tracer(stats, self.cost_model)
         planner = RowPlanner(self.pool, self.artifacts, self.data, spill,
                              statistics=self.statistics, tracer=tracer,
-                             zone_maps=self.zone_maps)
+                             zone_maps=self.zone_maps,
+                             visibility=_visibility)
         saved_cancellation = self.disk.cancellation
         if cancellation is not None:
             self.disk.cancellation = cancellation
@@ -256,22 +300,193 @@ class SystemX:
         vp_super_tuples: bool,
         cold_pool: bool,
         cancellation,
+        visibility=None,
     ) -> RowStoreRun:
         from ..shard.executor import scatter_gather
 
         children = self.shard_children()
 
         def execute_one(k: int, shard_query: StarQuery) -> RowStoreRun:
+            child_vis = None
+            if visibility is not None and visibility.needs_patching:
+                # slice the database-wide deleted mask down to this
+                # shard's fact rows (shard positions index the unsharded
+                # fact table)
+                from ..write.store import Visibility
+
+                shard = children[k][0]
+                mask = visibility.fact_deleted[shard.positions]
+                if bool(mask.any()):
+                    child_vis = Visibility(
+                        epoch=visibility.epoch, store=visibility.store,
+                        fact_deleted=mask)
             return children[k][1].execute(
                 shard_query, design, prune_partitions=prune_partitions,
                 vp_join=vp_join, vp_super_tuples=vp_super_tuples,
-                cold_pool=cold_pool, cancellation=cancellation)
+                cold_pool=cold_pool, cancellation=cancellation,
+                _visibility=child_vis)
 
         result, stats, trace, report = scatter_gather(
             query, [shard.synopsis for shard, _engine in children],
             self.data.date, execute_one, self.cost_model)
         return RowStoreRun(result, stats, self.cost_model.cost(stats),
                            trace=trace, shard_report=report)
+
+    # ------------------------------------------------------------------ #
+    # snapshot reads over pending inserts (WOS merge)
+    # ------------------------------------------------------------------ #
+    def _execute_merge(
+        self,
+        query: StarQuery,
+        design: DesignKind,
+        *,
+        prune_partitions: bool,
+        vp_join: str,
+        vp_super_tuples: bool,
+        cold_pool: bool,
+        cancellation,
+        vis,
+    ) -> RowStoreRun:
+        """Base run plus a WOS delta partial, combined like one more
+        shard.  The scatter rewrite makes the partials mergeable (AVG as
+        SUM+COUNT, hidden row counts for scalar MIN/MAX), and the merged
+        trace carries the delta's compute under a ``wos-merge`` span."""
+        from ..shard.executor import gather, shard_plan
+        from ..write.delta import delta_partial
+
+        spec = shard_plan(query)
+        base_run = self.execute(
+            spec.shard_query, design, prune_partitions=prune_partitions,
+            vp_join=vp_join, vp_super_tuples=vp_super_tuples,
+            cold_pool=cold_pool, cancellation=cancellation, _visibility=vis)
+        delta_stats = QueryStats()
+        partial = delta_partial(spec.shard_query, vis.delta_tables(),
+                                delta_stats)
+        result = gather(query, spec, [base_run.result, partial])
+        merged = QueryStats(**base_run.stats.snapshot())
+        merged.merge(delta_stats)
+        spans = [
+            Span("base-store", QueryStats(**base_run.stats.snapshot()),
+                 base_run.cost, children=[base_run.trace.root]),
+            Span("wos-merge", QueryStats(**delta_stats.snapshot()),
+                 self.cost_model.cost(delta_stats)),
+        ]
+        root = Span("query", QueryStats(**merged.snapshot()),
+                    self.cost_model.cost(merged), children=spans)
+        trace = Trace(root).verify(merged)
+        return RowStoreRun(result, merged, self.cost_model.cost(merged),
+                           trace=trace, shard_report=base_run.shard_report)
+
+    # ------------------------------------------------------------------ #
+    # writes: WOS delegation and the tuple mover
+    # ------------------------------------------------------------------ #
+    def _write_store(self):
+        if self._writes is None:
+            from ..write.store import WriteStore
+
+            self._writes = WriteStore(dict(self.data.tables))
+            # journal faults come from the same injector as data faults
+            self._writes.journal.disk.fault_injector = \
+                self.disk.fault_injector
+        return self._writes
+
+    def insert(self, table: str, rows, stats: Optional[QueryStats] = None,
+               tracer: Optional[Tracer] = None) -> int:
+        """Validate, journal, and buffer ``rows`` into the WOS.
+        All-or-nothing; returns rows accepted."""
+        if stats is None:
+            stats = QueryStats()
+        return self._write_store().insert(table, rows, stats, tracer)
+
+    def delete(self, table: str, predicates,
+               stats: Optional[QueryStats] = None,
+               tracer: Optional[Tracer] = None) -> int:
+        """Mark matching rows deleted as of a fresh epoch (dimension
+        deletes are RESTRICTed while referenced).  Returns rows marked."""
+        if stats is None:
+            stats = QueryStats()
+        return self._write_store().delete(table, predicates, stats, tracer)
+
+    def pending_writes(self) -> int:
+        """Rows the tuple mover would merge right now (0 = clean)."""
+        return 0 if self._writes is None else self._writes.pending_rows()
+
+    @property
+    def write_epoch(self) -> int:
+        return 0 if self._writes is None else self._writes.epoch
+
+    def move(self, stats: Optional[QueryStats] = None,
+             tracer: Optional[Tracer] = None) -> int:
+        """The tuple mover: drain the WOS into fresh design artifacts.
+
+        Builds a complete shadow engine from the effective tables (the
+        cold-rebuild order, so post-move reads are byte-identical to a
+        rebuild), retrying transient write faults with the journal's
+        backoff schedule, then swaps it in atomically and advances the
+        merge horizon.  All shadow-build I/O is charged to ``stats``
+        under a ``tuple-move`` span.  On failure the serving store is
+        untouched.  Returns the number of rows merged.
+        """
+        ws = self._writes
+        if ws is None or not ws.has_pending():
+            return 0
+        if stats is None:
+            stats = QueryStats()
+        from ..errors import TransientIOError, WriteFaultError
+        from ..simio.buffer_pool import _backoff_us
+        from ..synopsis import stamp_sidecars
+        from ..write.journal import MAX_WRITE_RETRIES
+
+        moved = ws.pending_rows()
+        effective = ws.effective_tables()
+        data = SsbData(
+            scale_factor=self.data.scale_factor,
+            seed=self.data.seed,
+            lineorder=effective["lineorder"],
+            customer=effective["customer"],
+            supplier=effective["supplier"],
+            part=effective["part"],
+            date=effective["date"],
+        )
+        with span_context(tracer, "tuple-move"):
+            shadow = None
+            for attempt in range(1, MAX_WRITE_RETRIES + 1):
+                try:
+                    shadow = SystemX(
+                        data, designs=self.designs,
+                        cost_model=self.cost_model,
+                        buffer_pool_bytes=self._pool_bytes,
+                        join_memory_bytes=self.join_memory_bytes,
+                        zone_maps=self.zone_maps,
+                        writes=self.writes,
+                        fault_injector=self.disk.fault_injector)
+                    # stamp the shadow's sidecars with the merged epoch
+                    # so the scrubber can tell drift from pending delta
+                    stamp_sidecars(shadow.disk, ws.epoch)
+                    break
+                except TransientIOError as exc:
+                    stats.io_retries += 1
+                    stats.retry_backoff_us += _backoff_us(attempt)
+                    if attempt == MAX_WRITE_RETRIES:
+                        raise WriteFaultError(
+                            f"tuple move failed after {MAX_WRITE_RETRIES} "
+                            f"shadow-build attempts: {exc}"
+                        ) from exc
+            stats.merge(shadow.disk.stats)
+            ws.journal.append({"op": "move", "epoch": ws.epoch,
+                               "rows": moved}, stats, tracer)
+            self.data = shadow.data
+            self.disk = shadow.disk
+            self.pool = shadow.pool
+            self.statistics = shadow.statistics
+            self.artifacts = shadow.artifacts
+            self._built = shadow._built
+            self._shard_children = None
+            self.disk.stats = QueryStats()
+            ws.complete_move(effective)
+            self._zm_epoch = ws.epoch
+            stats.moves += 1
+        return moved
 
     def storage_bytes(self) -> int:
         """Total simulated disk occupied by all built artifacts."""

@@ -44,19 +44,33 @@ from .predicates import compile_predicate
 
 @dataclass
 class RowBatch:
-    """A chunk of tuples, held column-wise for vectorized transport."""
+    """A chunk of tuples, held column-wise for vectorized transport.
+
+    ``num_rows`` is explicit because a plan may carry *no* columns at
+    all — a bare ``count(*)`` extracts nothing — and the dict cannot
+    speak for the tuple count then.
+    """
 
     columns: Dict[str, np.ndarray]
+    num_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         lengths = {len(v) for v in self.columns.values()}
         if len(lengths) > 1:
             raise ExecutionError(f"ragged row batch: lengths {lengths}")
+        if lengths:
+            (derived,) = lengths
+            if self.num_rows is None:
+                self.num_rows = derived
+            elif self.num_rows != derived:
+                raise ExecutionError(
+                    f"row batch claims {self.num_rows} row(s) but its "
+                    f"columns hold {derived}")
+        elif self.num_rows is None:
+            self.num_rows = 0
 
     def __len__(self) -> int:
-        if not self.columns:
-            return 0
-        return len(next(iter(self.columns.values())))
+        return self.num_rows
 
     def column(self, name: str) -> np.ndarray:
         try:
@@ -67,12 +81,17 @@ class RowBatch:
             ) from None
 
     def take(self, selector: np.ndarray) -> "RowBatch":
-        return RowBatch({k: v[selector] for k, v in self.columns.items()})
+        taken = {k: v[selector] for k, v in self.columns.items()}
+        if taken:
+            return RowBatch(taken)
+        kept = (int(np.count_nonzero(selector))
+                if selector.dtype == np.bool_ else len(selector))
+        return RowBatch(taken, kept)
 
     def with_columns(self, extra: Dict[str, np.ndarray]) -> "RowBatch":
         merged = dict(self.columns)
         merged.update(extra)
-        return RowBatch(merged)
+        return RowBatch(merged, self.num_rows)
 
 
 BatchStream = Iterable[RowBatch]
@@ -130,6 +149,7 @@ def seq_scan(
     rid_column: Optional[str] = None,
     rid_base: int = 0,
     zone_maps: bool = False,
+    live_mask: Optional[np.ndarray] = None,
 ) -> Iterator[RowBatch]:
     """Sequential heap scan with pushed-down predicates.
 
@@ -137,7 +157,9 @@ def seq_scan(
     per predicate/output column access per surviving tuple.  ``rid_column``
     optionally emits record ids (used by designs that join on position).
     ``zone_maps`` prunes whole pages via the heap's synopsis sidecar;
-    skipped pages charge no I/O and no per-tuple work.
+    skipped pages charge no I/O and no per-tuple work.  ``live_mask``
+    (indexed by local heap position, i.e. without ``rid_base``) hides
+    snapshot-deleted tuples before any predicate runs.
     """
     stats = pool.stats
     compiled = [
@@ -155,6 +177,10 @@ def seq_scan(
         # parsing/copying each tuple costs time proportional to its width
         stats.tuple_bytes_scanned += n * record_width
         mask: Optional[np.ndarray] = None
+        if live_mask is not None:
+            local = page_no * rows_per_page
+            stats.position_ops += n
+            mask = live_mask[local:local + n].copy()
         alive = n
         for column, pred in compiled:
             if mask is None:
@@ -180,7 +206,7 @@ def seq_scan(
         if rid_column is not None:
             rids = np.arange(base, base + n, dtype=np.int64)
             out[rid_column] = rids if sel_idx is None else rids[sel_idx]
-        yield RowBatch(out)
+        yield RowBatch(out, len(selected))
 
 
 def super_tuple_scan(
@@ -191,6 +217,7 @@ def super_tuple_scan(
     predicates: Sequence[Predicate] = (),
     pos_name: str = "_pos",
     zone_maps: bool = False,
+    live_mask: Optional[np.ndarray] = None,
 ) -> Iterator[RowBatch]:
     """Scan a header-free single-column heap a *block* at a time.
 
@@ -198,7 +225,8 @@ def super_tuple_scan(
     conclusion list: reduced tuple overhead + block processing inside a
     row store): one operator call per page and vectorized per-value
     work instead of per-tuple iterator calls and header parsing.
-    Positions are implicit in storage order.
+    Positions are implicit in storage order; ``live_mask`` (indexed by
+    position) hides snapshot-deleted tuples before any predicate runs.
     """
     stats = pool.stats
     compiled = [
@@ -214,6 +242,9 @@ def super_tuple_scan(
         values = np.ascontiguousarray(records[column])
         positions = np.arange(base, base + n, dtype=np.int64)
         mask: Optional[np.ndarray] = None
+        if live_mask is not None:
+            stats.position_ops += n
+            mask = live_mask[base:base + n].copy()
         for _col, pred in compiled:
             # predicates are vectorized over the block, not interpreted
             # per tuple: swap the scalar charge for the vector rate

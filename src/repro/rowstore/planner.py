@@ -67,7 +67,7 @@ from .operators import (
     seq_scan,
     super_tuple_scan,
 )
-from .partitioning import qualifying_years
+from .partitioning import qualifying_years, year_of_datekey
 
 
 class RowPlanner:
@@ -82,6 +82,7 @@ class RowPlanner:
         statistics=None,
         tracer: Optional[Tracer] = None,
         zone_maps: bool = False,
+        visibility=None,
     ) -> None:
         self.pool = pool
         self.artifacts = artifacts
@@ -97,6 +98,14 @@ class RowPlanner:
         #: optional span tracer (tracing is passive: ledgers are
         #: byte-identical with or without one attached)
         self.tracer = tracer
+        #: optional MVCC snapshot (:class:`repro.write.Visibility`).  Only
+        #: a fact deleted-mask needs plan-side work: FK integrity keeps
+        #: dimension heaps and their hash tables patch-free, and pending
+        #: inserts are merged by the engine's delta evaluator, never here.
+        self.visibility = visibility
+        self._fact_live: Optional[np.ndarray] = None
+        if visibility is not None and visibility.needs_patching:
+            self._fact_live = ~visibility.fact_deleted
 
     def _span(self, name: str):
         return span_context(self.tracer, name)
@@ -200,6 +209,17 @@ class RowPlanner:
             )
         return self._aggregate(query, stream)
 
+    def _live_filter(self, stream: Iterable[RowBatch], key: str
+                     ) -> Iterator[RowBatch]:
+        """Visibility check on a position/rid-keyed stream: drop
+        snapshot-deleted fact rows, one position op per checked key."""
+        live = self._fact_live
+        for batch in stream:
+            keys = batch.column(key)
+            self.stats.position_ops += len(keys)
+            keep = live[keys]
+            yield batch if keep.all() else batch.take(keep)
+
     def _aggregate(self, query: StarQuery, stream: Iterable[RowBatch]
                    ) -> ResultSet:
         from ..plan.aggregates import (
@@ -252,13 +272,27 @@ class RowPlanner:
         years = sorted(partitions)
         if prune:
             years = qualifying_years(self.catalog.date, query, years)
+        live = self._fact_live
+        row_years = None
+        if live is not None:
+            # partition_by_year keeps parent row order, and MV partitions
+            # share the fact's row order, so the per-year slice of the
+            # database-wide live mask lines up with each partition heap
+            row_years = year_of_datekey(
+                self.catalog.lineorder.column("orderdate").data)
         for year in years:
             heap = partitions[year]
+            mask = None
+            if live is not None:
+                mask = live[np.flatnonzero(row_years == year)]
+                if mask.all():
+                    mask = None
             yield from seq_scan(
                 heap, self.pool, query.fact_table,
                 out_columns=out_columns,
                 predicates=query.fact_predicates(),
                 zone_maps=self.zone_maps,
+                live_mask=mask,
             )
 
     def _run_traditional(self, query: StarQuery, prune: bool) -> ResultSet:
@@ -331,12 +365,17 @@ class RowPlanner:
                     rid_sets.append(rids)
             if rid_sets:
                 rids = intersect_rid_sets(self.pool, rid_sets)
+                if self._fact_live is not None:
+                    # bitmaps cover every base row; drop deleted rids
+                    # before paying any heap fetch for them
+                    self.stats.position_ops += len(rids)
+                    rids = rids[self._fact_live[rids]]
         if not rid_sets:
             # nothing bitmap-able: degrade to a plain scan of the heap
             stream = seq_scan(
                 fact_heap, self.pool, query.fact_table,
                 self._fact_out_columns(query), query.fact_predicates(),
-                zone_maps=self.zone_maps)
+                zone_maps=self.zone_maps, live_mask=self._fact_live)
         else:
             stream = heap_fetch(
                 fact_heap, self.pool, rids, query.fact_table,
@@ -445,8 +484,10 @@ class RowPlanner:
             stages.append((0.5, scan, {}))
         if not stages:
             # no predicates or joins: seed the position set from the
-            # first needed column's table (a full scan)
-            seed = self._fact_out_columns(query)[0]
+            # first needed column's table (a full scan); a column-free
+            # plan (bare count(*)) counts positions off the key column
+            needed = self._fact_out_columns(query)
+            seed = needed[0] if needed else "orderkey"
             stages.append((1.0, column_scan(seed), {}))
         stages.sort(key=lambda s: s[0])
 
@@ -470,6 +511,8 @@ class RowPlanner:
                 have.add(name)
 
         stream = current.as_batches(pos_key)
+        if self._fact_live is not None:
+            stream = self._live_filter(stream, pos_key)
         return self._aggregate(query, stream)
 
     def _materialize_keyed(self, stream: Iterable[RowBatch], key: str,
@@ -547,7 +590,9 @@ class RowPlanner:
 
         # 1. join the needed fact columns on rid, in schema order —
         #    System X cannot defer these joins past the dimension joins
-        fact_cols = query.fact_columns_needed()
+        # a column-free plan (bare count(*)) still needs one index
+        # stream to enumerate rids
+        fact_cols = list(query.fact_columns_needed()) or ["orderkey"]
         with self._span("fact-scan:index-rid-joins"):
             current = self._materialize_keyed(
                 self._fact_index_stream(query, fact_cols[0]), "_rid")
@@ -568,6 +613,8 @@ class RowPlanner:
 
         # 3. probe the joined fact columns against each dimension
         stream = current.as_batches("_rid")
+        if self._fact_live is not None:
+            stream = self._live_filter(stream, "_rid")
         result = self._join_and_aggregate(query, stream, dim_tables, estimate)
         return self._decode_index_codes(query, result)
 

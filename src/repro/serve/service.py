@@ -33,6 +33,12 @@ and/or one :class:`~repro.rowstore.engine.SystemX`.  Clients hold
    With the cache disabled and no faults, a service run's ledger is
    byte-identical to a direct engine call.
 
+Writes go through :meth:`QueryService.insert` / ``delete`` / ``move``
+(or ``execute_sql``): each mutation lands on every attached engine
+under its lock, evicts cached entries touching the written table, and
+while a delta is pending the cache is bypassed entirely, so no
+merge-blind answer can serve stale rows.
+
 All breaker/brownout timing runs on a :class:`ServiceClock` of
 accumulated *simulated* seconds, so resilience behaviour is exactly
 reproducible for a given submission order.  ``drain()`` stops admitting
@@ -64,6 +70,8 @@ from ..obs import Trace, Tracer
 from ..plan.logical import StarQuery
 from ..result import ResultSet
 from ..simio.stats import CostBreakdown, CostModel, PAPER_2008, QueryStats
+from ..sql import bind, bind_delete, bind_insert, parse_statement
+from ..sql.ast import DeleteStatement, InsertStatement
 from .adapters import ColumnStoreAdapter, RowStoreAdapter
 from .resilience import (
     BreakerBoard,
@@ -325,6 +333,8 @@ class ServiceStats:
     shared_followers: int = 0
     shed: int = 0                   #: brownout / displacement sheds
     cancelled: int = 0              #: cooperative mid-execution cancels
+    writes: int = 0                 #: INSERT/DELETE statements applied
+    moves: int = 0                  #: tuple-mover runs
     degraded_hits: int = 0          #: cache answers under an open breaker
     breaker_opens: int = 0
     breaker_half_opens: int = 0
@@ -355,6 +365,8 @@ class ServiceStats:
                 "shared_followers": self.shared_followers,
                 "shed": self.shed,
                 "cancelled": self.cancelled,
+                "writes": self.writes,
+                "moves": self.moves,
                 "degraded_hits": self.degraded_hits,
                 "breaker_opens": self.breaker_opens,
                 "breaker_half_opens": self.breaker_half_opens,
@@ -470,6 +482,85 @@ class QueryService:
         """Invalidate cached entries (all, or those touching ``table``)."""
         return self.cache.invalidate(table)
 
+    # -------------------------------------------------------------- #
+    # writes
+    # -------------------------------------------------------------- #
+    def insert(self, table: str, rows,
+               stats: Optional[QueryStats] = None) -> int:
+        """Buffer ``rows`` into every attached engine's delta store.
+
+        Runs under each engine's lock so a write never interleaves with
+        an executing query; the engines validate all-or-nothing, so a
+        refused batch leaves both stores untouched.  Cached entries
+        touching ``table`` are evicted (other tables' entries and all
+        hit counters survive).  Returns rows accepted."""
+        count = self._write(lambda engine, ledger:
+                            engine.insert(table, rows, ledger), stats)
+        self.cache.invalidate(table)
+        self.stats.note(writes=1)
+        return count
+
+    def delete(self, table: str, predicates,
+               stats: Optional[QueryStats] = None) -> int:
+        """Mark matching rows deleted in every attached engine (dimension
+        deletes are RESTRICTed while referenced).  Evicts cached entries
+        touching ``table``; returns rows marked."""
+        count = self._write(lambda engine, ledger:
+                            engine.delete(table, predicates, ledger), stats)
+        self.cache.invalidate(table)
+        self.stats.note(writes=1)
+        return count
+
+    def move(self, stats: Optional[QueryStats] = None) -> int:
+        """Run each attached engine's tuple mover (drains its WOS into
+        fresh base pages).  Cached entries need no eviction here — every
+        write already evicted its table's entries, and the cache is
+        bypassed while a delta is pending — so surviving entries are for
+        untouched tables, whose pages the mover rebuilds byte-identically.
+        Returns rows merged."""
+        count = self._write(lambda engine, ledger: engine.move(ledger),
+                            stats)
+        self.stats.note(moves=1)
+        return count
+
+    def _write(self, apply_fn, stats: Optional[QueryStats]) -> int:
+        """Apply one mutation to every attached engine, under its lock.
+
+        The attached engines front the same logical data, so a write
+        must land on all of them or reads would diverge by engine; the
+        per-engine counts are required to agree."""
+        if self._closed:
+            raise AdmissionError("service is closed")
+        if stats is None:
+            stats = QueryStats()
+        counts = {}
+        for name in sorted(self._adapters):
+            engine = self._adapters[name].engine
+            with self._engine_locks[name]:
+                counts[name] = apply_fn(engine, stats)
+        if len(set(counts.values())) > 1:
+            raise ReproError(
+                f"engines disagree on rows affected: {counts} — attached "
+                f"stores have diverged (were they written directly?)")
+        return next(iter(counts.values()))
+
+    def execute_sql(self, sql: str, session: Optional[Session] = None,
+                    **submit_kwargs):
+        """Parse and serve one SQL statement.
+
+        SELECT binds to a :class:`StarQuery` and goes through
+        :meth:`submit` (returns its :class:`ServiceRun`); INSERT/DELETE
+        go through the service write path (returns rows affected)."""
+        statement = parse_statement(sql)
+        if isinstance(statement, InsertStatement):
+            table, rows = bind_insert(statement)
+            return self.insert(table, rows)
+        if isinstance(statement, DeleteStatement):
+            table, predicates = bind_delete(statement)
+            return self.delete(table, predicates)
+        query = bind(statement, name="sql")
+        return self.submit(query, session=session, **submit_kwargs)
+
     def serve_stats(self) -> Dict:
         """One dict for dashboards: service, cache, admission,
         resilience, sessions."""
@@ -527,6 +618,11 @@ class QueryService:
                 f"engine {session.engine!r} is not attached to this service")
         use_cache = self.config.cache and session.cached \
             if cached is None else bool(cached) and self.config.cache
+        # every cache path — exact hits, key-set probes, re-filters,
+        # position recording — reads base pages only and would be blind
+        # to a pending delta; bypass until the tuple mover drains it
+        if use_cache and adapter.engine.pending_writes():
+            use_cache = False
         if deadline is None:
             deadline = self.config.deadline
         if sim_deadline is None:

@@ -76,6 +76,12 @@ class Session:
                                    sim_deadline=sim_deadline,
                                    priority=priority)
 
+    def execute_sql(self, sql: str, **kwargs):
+        """Parse and serve one SQL statement through the owning service
+        (SELECT returns a ``ServiceRun``; INSERT/DELETE return rows
+        affected)."""
+        return self.service.execute_sql(sql, session=self, **kwargs)
+
     def note_submitted(self) -> None:
         with self._lock:
             self.stats.submitted += 1

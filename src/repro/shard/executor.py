@@ -93,8 +93,16 @@ def shard_plan(query: StarQuery) -> GatherSpec:
     if not query.group_by and any(
         a.func in ("min", "max") for a in query.aggregates
     ):
-        rows_pos = len(shard_aggs)
-        shard_aggs.append(AggExpr("count", Literal(1), ROWS_ALIAS))
+        # idempotent under re-planning: the WOS merge path plans the
+        # already-rewritten shard query again, so reuse a hidden row
+        # count that is already present instead of stacking another
+        for i, agg in enumerate(shard_aggs):
+            if agg.alias == ROWS_ALIAS:
+                rows_pos = i
+                break
+        else:
+            rows_pos = len(shard_aggs)
+            shard_aggs.append(AggExpr("count", Literal(1), ROWS_ALIAS))
     shard_query = replace(
         query,
         aggregates=tuple(shard_aggs),

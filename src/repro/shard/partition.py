@@ -70,11 +70,17 @@ class ShardSynopsis:
 
 @dataclass(frozen=True)
 class FactShard:
-    """One shard: its database slice plus its synopsis."""
+    """One shard: its database slice plus its synopsis.
+
+    ``positions`` maps the shard's fact rows back to row numbers of the
+    unsharded fact table (ascending for range shards).  Snapshot reads
+    use it to slice a database-wide deleted-mask down to this shard.
+    """
 
     index: int
     data: SsbData
     synopsis: ShardSynopsis
+    positions: np.ndarray
 
 
 def _synopsis(index: int, fact: Table) -> ShardSynopsis:
@@ -139,17 +145,18 @@ def partition_data(data: SsbData, shards: int,
             positions = np.arange(cuts[k], cuts[k + 1])
             slice_ = _fact_slice(fact, positions,
                                  keep_sort=bool(fact.sort_order))
-            out.append(_shard_of(data, k, slice_))
+            out.append(_shard_of(data, k, slice_, positions))
     else:
         assignment = fact.column("orderkey").data.astype(np.int64) % shards
         for k in range(shards):
             positions = np.flatnonzero(assignment == k)
             slice_ = _fact_slice(fact, positions, keep_sort=False)
-            out.append(_shard_of(data, k, slice_))
+            out.append(_shard_of(data, k, slice_, positions))
     return out
 
 
-def _shard_of(data: SsbData, index: int, fact: Table) -> FactShard:
+def _shard_of(data: SsbData, index: int, fact: Table,
+              positions: np.ndarray) -> FactShard:
     shard_data = SsbData(
         scale_factor=data.scale_factor,
         seed=data.seed,
@@ -159,7 +166,8 @@ def _shard_of(data: SsbData, index: int, fact: Table) -> FactShard:
         part=data.part,
         date=data.date,
     )
-    return FactShard(index, shard_data, _synopsis(index, fact))
+    return FactShard(index, shard_data, _synopsis(index, fact),
+                     positions.astype(np.int64))
 
 
 __all__ = ["ShardScheme", "ShardSynopsis", "FactShard", "partition_data"]

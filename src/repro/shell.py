@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Callable, List, Optional
 
 from .colstore.engine import CStore
@@ -33,7 +34,8 @@ from .ssb.queries import ALL_QUERIES, query_by_name
 from .ssb.sql_text import SQL_TEXT
 
 HELP = """\
-Enter SQL (SSB dialect), an SSB query name (Q1.1 .. Q4.3), or a command:
+Enter SQL (SSB dialect — SELECT, INSERT, or DELETE), an SSB query name
+(Q1.1 .. Q4.3), or a command:
   \\help                this help
   \\queries             list the 13 SSB queries
   \\sql Qx.y            show an SSB query's SQL text
@@ -41,6 +43,7 @@ Enter SQL (SSB dialect), an SSB query name (Q1.1 .. Q4.3), or a command:
   \\design T|T(B)|MV|VP|AI   row-store physical design (default: T)
   \\config tICL..Ticl   column-store configuration (default: tICL)
   \\explain <query>     show both engines' plans for SQL or Qx.y
+  \\move                drain pending writes into the base pages
   \\verify on|off       cross-check results against the oracle
   \\cache on|off|clear  semantic result cache (default: off)
   \\serve stats         service, cache, and resilience counters
@@ -57,7 +60,11 @@ class Shell:
                  data: Optional[SsbData] = None) -> None:
         self.data = data if data is not None else generate(scale_factor)
         self.cstore = CStore(self.data)
-        self.system_x = SystemX(self.data, designs=[DesignKind.TRADITIONAL])
+        # writes=True arms the row store's snapshot-merge read path for
+        # shell DML; with no delta pending it is byte-identical to a
+        # read-only engine (test-asserted), so read workloads see nothing
+        self.system_x = SystemX(self.data, designs=[DesignKind.TRADITIONAL],
+                                writes=True)
         self.engine_mode = "both"
         self.design = DesignKind.TRADITIONAL
         self.config = ExecutionConfig.baseline()
@@ -83,6 +90,9 @@ class Shell:
         try:
             if line.startswith("\\"):
                 return self._command(line)
+            head = line.split(None, 1)[0].upper()
+            if head in ("INSERT", "DELETE"):
+                return self._run_dml(line, head)
             return self._run(self._to_query(line))
         except ReproError as error:
             # one structured line — class + first message line — instead
@@ -145,7 +155,8 @@ class Shell:
             return f"verification {argument}"
         if command == "\\explain":
             query = self._to_query(argument)
-            return (self.cstore.explain(query, self.config) + "\n\n"
+            return (self.cstore.explain(
+                        query, replace(self.config, writes=True)) + "\n\n"
                     + self.system_x.explain(query, self.design))
         if command == "\\cache":
             if argument == "clear":
@@ -161,6 +172,10 @@ class Shell:
             if argument != "stats":
                 return "error: \\serve takes stats"
             return self._serve_stats()
+        if command == "\\move":
+            moved = self.service.move()
+            return (f"tuple mover drained {moved} row(s) into the base "
+                    f"pages" if moved else "nothing pending; no-op")
         return f"error: unknown command {command!r} (try \\help)"
 
     def _serve_stats(self) -> str:
@@ -183,13 +198,24 @@ class Shell:
             lines.append(f"session {name}: {body}")
         return "\n".join(lines)
 
+    def _run_dml(self, sql: str, verb: str) -> str:
+        affected = self.service.execute_sql(sql)
+        pending = self.cstore.pending_writes()
+        past = "inserted" if verb == "INSERT" else "deleted"
+        return (f"{affected} row(s) {past}; {pending} row(s) pending in "
+                f"the write store (\\move drains them)")
+
     def _run(self, query: StarQuery) -> str:
         lines: List[str] = []
-        oracle = (reference_execute(self.data.tables, query)
+        # the oracle replays against the *effective* tables, so verified
+        # reads stay honest across shell DML and tuple moves
+        oracle = (reference_execute(self.cstore.snapshot_tables(), query)
                   if self.verify else None)
         shown = False
         if self.engine_mode in ("cs", "both"):
-            self._cs_session.config = self.config
+            # writes=True arms the snapshot-merge path; with no pending
+            # delta the execution is byte-identical to the plain config
+            self._cs_session.config = replace(self.config, writes=True)
             run = self._cs_session.execute(query)
             if oracle is not None and not run.result.same_rows(oracle):
                 return "INTERNAL ERROR: column store deviates from oracle"

@@ -141,6 +141,12 @@ class SimulatedDisk:
                 f"payload of {len(payload)} bytes exceeds page size {PAGE_SIZE}"
             )
         f = self.file(name)
+        inj = self.fault_injector
+        if inj is not None and getattr(inj, "take_write_fault", None) \
+                is not None and inj.take_write_fault(name, f.num_pages):
+            # the failed attempt wrote nothing durable; the caller owns
+            # the retry loop (and its backoff charges)
+            raise TransientIOError(name, f.num_pages)
         f.pages.append(payload)
         f.checksums.append(page_checksum(payload))
         self.stats.bytes_written += PAGE_SIZE

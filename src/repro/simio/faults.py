@@ -61,6 +61,12 @@ class FaultPolicy:
     max_transient_failures: int = 2
     bitflip_rate: float = 0.0
     torn_rate: float = 0.0
+    #: per-page probability that an ``append_page`` *write* fails
+    #: transiently (journal appends, tuple-mover page rewrites); the
+    #: write path retries with bounded backoff like the read path
+    write_fail_rate: float = 0.0
+    #: bound on consecutive failed write attempts per afflicted page
+    max_write_failures: int = 2
 
     def applies_to(self, name: str, page_no: int) -> bool:
         if not fnmatch.fnmatchcase(name, self.file_glob):
@@ -86,6 +92,7 @@ class FaultInjector:
         self.corrupted: CorruptionLog = []
         self._lock = threading.Lock()
         self._transient_taken: Dict[Tuple[str, int], int] = {}
+        self._write_taken: Dict[Tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------ #
     # transient errors (consumed by the read path)
@@ -125,6 +132,41 @@ class FaultInjector:
         """Re-arm every transient failure (e.g. between experiments)."""
         with self._lock:
             self._transient_taken.clear()
+            self._write_taken.clear()
+
+    # ------------------------------------------------------------------ #
+    # write faults (consumed by the append path: journal, tuple mover)
+    # ------------------------------------------------------------------ #
+    def write_budget(self, name: str, page_no: int) -> int:
+        """How many appends of this page fail before one succeeds."""
+        budget = 0
+        for policy in self.policies:
+            if not policy.write_fail_rate or not policy.applies_to(name,
+                                                                   page_no):
+                continue
+            draw = _unit(self.seed, f"write/{policy.file_glob}",
+                         name, page_no)
+            if draw >= policy.write_fail_rate:
+                continue
+            count = 1 + int(
+                _unit(self.seed, "write-count", name, page_no)
+                * policy.max_write_failures
+            )
+            budget = max(budget, min(count, policy.max_write_failures))
+        return budget
+
+    def take_write_fault(self, name: str, page_no: int) -> bool:
+        """Consume one write failure for this page if any remain."""
+        budget = self.write_budget(name, page_no)
+        if budget == 0:
+            return False
+        key = (name, page_no)
+        with self._lock:
+            used = self._write_taken.get(key, 0)
+            if used >= budget:
+                return False
+            self._write_taken[key] = used + 1
+            return True
 
     # ------------------------------------------------------------------ #
     # persistent corruption (applied once to the stored images)

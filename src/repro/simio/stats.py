@@ -91,6 +91,13 @@ class QueryStats:
     #: synopsis (bookkeeping, like ``recoveries``: the *saving* shows up
     #: as the I/O and CPU counters above simply not moving)
 
+    # --- writes / delta store (maintained by repro.write; all zero on
+    # read-only runs, so every existing byte-identical ledger guarantee
+    # survives the existence of the write path) ---
+    delta_rows_merged: int = 0   #: WOS rows merged into a snapshot read
+    journal_pages: int = 0       #: redo-journal pages appended
+    moves: int = 0               #: tuple-mover drains (WOS -> base pages)
+
     # --- serving / semantic cache (maintained by repro.serve; all zero
     # on a direct engine call, so engine ledgers are unchanged by the
     # existence of the service layer) ---
@@ -308,6 +315,20 @@ class CostModel:
     def seconds(self, stats: QueryStats) -> float:
         """Total simulated seconds for a ledger."""
         return self.cost(stats).total_seconds
+
+    def write_seconds(self, stats: QueryStats) -> float:
+        """Simulated seconds for a *write* ledger.
+
+        Read-side pricing (:meth:`io_seconds`) deliberately excludes
+        ``bytes_written`` — that exclusion is what keeps every read-only
+        ledger byte-identical whether or not the write path exists.
+        Write benchmarks price their journal appends and tuple-mover page
+        rewrites here instead: written bytes transfer at the same
+        sequential bandwidth as reads, on top of the ordinary read + CPU
+        charges the operation accrued.
+        """
+        written = stats.bytes_written / (self.seq_mbps * 1024 * 1024)
+        return self.seconds(stats) + written
 
 
 #: The cost model used throughout the benchmarks, mirroring the paper's rig.

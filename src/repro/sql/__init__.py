@@ -13,8 +13,9 @@ other.
 >>> q = parse_query("SELECT sum(lo.revenue) AS revenue FROM lineorder AS lo")
 """
 
-from .parser import parse
-from .binder import bind, parse_query
+from .parser import parse, parse_statement
+from .binder import bind, bind_delete, bind_insert, parse_query
 from .render import render
 
-__all__ = ["parse", "bind", "parse_query", "render"]
+__all__ = ["parse", "parse_statement", "bind", "bind_insert",
+           "bind_delete", "parse_query", "render"]

@@ -97,6 +97,26 @@ class SelectStatement:
     limit: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO table (cols...) VALUES (...), (...)``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[SqlExpr, ...], ...]
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM table WHERE ...`` (conjunctive, single table)."""
+
+    table: str
+    conditions: Tuple[Condition, ...]
+
+
+Statement = Union[SelectStatement, InsertStatement, DeleteStatement]
+
+
 __all__ = [
     "Ident",
     "NumberLit",
@@ -111,4 +131,7 @@ __all__ = [
     "Condition",
     "OrderItem",
     "SelectStatement",
+    "InsertStatement",
+    "DeleteStatement",
+    "Statement",
 ]

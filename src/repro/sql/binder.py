@@ -247,4 +247,68 @@ def parse_query(sql: str, name: str = "query",
     return bind(parse(sql), schemas=schemas, name=name)
 
 
-__all__ = ["bind", "parse_query"]
+# --------------------------------------------------------------------- #
+# DML
+# --------------------------------------------------------------------- #
+def bind_insert(statement: ast.InsertStatement,
+                schemas: Optional[Dict[str, Schema]] = None):
+    """Bind an INSERT into ``(table, rows)`` where each row is the
+    column->value dict :meth:`repro.write.WriteStore.insert` accepts.
+
+    Every named column is checked against the schema and every literal
+    against its column's type (ints for integer columns, strings for
+    string columns); missing/extra columns are left to the write store's
+    own row validation, which has the authoritative error messages.
+    """
+    catalog = dict(SCHEMAS) if schemas is None else schemas
+    schema = catalog.get(statement.table)
+    if schema is None:
+        raise SqlBindError(f"unknown table {statement.table!r}")
+    types = {f.name: f.ctype for f in schema}
+    seen = set()
+    for column in statement.columns:
+        if column not in types:
+            raise SqlBindError(
+                f"table {statement.table!r} has no column {column!r}"
+            )
+        if column in seen:
+            raise SqlBindError(f"column {column!r} listed twice")
+        seen.add(column)
+    rows = []
+    for row in statement.rows:
+        bound = {}
+        for column, expr in zip(statement.columns, row):
+            value = _literal_value(expr)
+            ctype = types[column]
+            if ctype.is_string != isinstance(value, str):
+                want = "a string" if ctype.is_string else "an integer"
+                raise SqlBindError(
+                    f"column {statement.table}.{column} needs {want}, "
+                    f"got {value!r}"
+                )
+            bound[column] = value
+        rows.append(bound)
+    return statement.table, rows
+
+
+def bind_delete(statement: ast.DeleteStatement,
+                schemas: Optional[Dict[str, Schema]] = None):
+    """Bind a DELETE into ``(table, predicates)`` for
+    :meth:`repro.write.WriteStore.delete` (single-table conjunctive
+    WHERE; column-to-column conditions are rejected)."""
+    catalog = dict(SCHEMAS) if schemas is None else schemas
+    if statement.table not in catalog:
+        raise SqlBindError(f"unknown table {statement.table!r}")
+    scope = _Scope((ast.TableRef(statement.table, None),), catalog)
+    predicates: List[Predicate] = []
+    for cond in statement.conditions:
+        bound = _bind_condition(cond, scope, statement.table, {}, {})
+        if bound is None:
+            raise SqlBindError(
+                "DELETE predicates must compare a column to a literal"
+            )
+        predicates.append(bound)
+    return statement.table, predicates
+
+
+__all__ = ["bind", "parse_query", "bind_insert", "bind_delete"]

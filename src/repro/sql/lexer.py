@@ -17,7 +17,7 @@ from ..errors import SqlLexError
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AS", "AND",
     "BETWEEN", "IN", "SUM", "COUNT", "MIN", "MAX", "AVG", "ASC", "DESC",
-    "OR", "NOT", "LIMIT",
+    "OR", "NOT", "LIMIT", "INSERT", "INTO", "VALUES", "DELETE",
 }
 
 

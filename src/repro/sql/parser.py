@@ -4,12 +4,18 @@ Grammar (conjunctive WHERE only — the whole benchmark needs nothing
 more; OR/NOT are lexed so they produce a clear error rather than a
 confusing one):
 
+    statement  := select | insert | delete
     select     := SELECT item (',' item)*
                   FROM table_ref (',' table_ref)*
                   [WHERE condition (AND condition)*]
                   [GROUP BY ident (',' ident)*]
                   [ORDER BY order_key (',' order_key)*]
                   [LIMIT number] [';']
+    insert     := INSERT INTO ident '(' ident (',' ident)* ')'
+                  VALUES row (',' row)* [';']
+    row        := '(' literal (',' literal)* ')'
+    delete     := DELETE FROM ident
+                  [WHERE condition (AND condition)*] [';']
     item       := (SUM|COUNT|MIN|MAX|AVG) '(' (expr|'*') ')' [AS ident]
                 | expr [AS ident]
     expr       := term (('+'|'-') term)*
@@ -79,6 +85,98 @@ class _Parser:
     # ------------------------------------------------------------------ #
     # grammar
     # ------------------------------------------------------------------ #
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        return self.parse_select()
+
+    def _finish(self) -> None:
+        self.accept_symbol(";")
+        tail = self.peek()
+        if tail.kind is not TokenKind.EOF:
+            raise SqlParseError(
+                f"unexpected trailing input {tail.text!r} at offset "
+                f"{tail.position}"
+            )
+
+    def parse_insert(self) -> ast.InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.advance()
+        if table.kind is not TokenKind.IDENT:
+            raise SqlParseError(f"expected table name, got {table.text!r}")
+        self.expect_symbol("(")
+        columns = [self._plain_ident()]
+        while self.accept_symbol(","):
+            columns.append(self._plain_ident())
+        self.expect_symbol(")")
+        self.expect_keyword("VALUES")
+        rows = [self._parse_value_row(len(columns))]
+        while self.accept_symbol(","):
+            rows.append(self._parse_value_row(len(columns)))
+        self._finish()
+        return ast.InsertStatement(table.text, tuple(columns), tuple(rows))
+
+    def _plain_ident(self) -> str:
+        token = self.advance()
+        if token.kind is not TokenKind.IDENT:
+            raise SqlParseError(
+                f"expected column name, got {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return token.text
+
+    def _parse_value_row(self, width: int) -> tuple:
+        self.expect_symbol("(")
+        values = [self._parse_literal()]
+        while self.accept_symbol(","):
+            values.append(self._parse_literal())
+        self.expect_symbol(")")
+        if len(values) != width:
+            raise SqlParseError(
+                f"VALUES row has {len(values)} value(s) for {width} "
+                f"column(s)"
+            )
+        return tuple(values)
+
+    def _parse_literal(self) -> ast.SqlExpr:
+        negative = self.accept_symbol("-")
+        token = self.advance()
+        if token.kind is TokenKind.NUMBER:
+            value = int(token.text)
+            return ast.NumberLit(-value if negative else value)
+        if token.kind is TokenKind.STRING and not negative:
+            return ast.StringLit(token.text)
+        raise SqlParseError(
+            f"expected a literal, got {token.text!r} at offset "
+            f"{token.position}"
+        )
+
+    def parse_delete(self) -> ast.DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.advance()
+        if table.kind is not TokenKind.IDENT:
+            raise SqlParseError(f"expected table name, got {table.text!r}")
+        conditions: List[ast.Condition] = []
+        if self.accept_keyword("WHERE"):
+            conditions.append(self.parse_condition())
+            while True:
+                if self.accept_keyword("AND"):
+                    conditions.append(self.parse_condition())
+                    continue
+                if self.peek().is_keyword("OR") or self.peek().is_keyword(
+                        "NOT"):
+                    raise SqlParseError(
+                        "only conjunctive (AND) predicates are supported"
+                    )
+                break
+        self._finish()
+        return ast.DeleteStatement(table.text, tuple(conditions))
+
     def parse_select(self) -> ast.SelectStatement:
         self.expect_keyword("SELECT")
         items = [self.parse_item()]
@@ -280,4 +378,9 @@ def parse(sql: str) -> ast.SelectStatement:
     return _Parser(tokenize(sql)).parse_select()
 
 
-__all__ = ["parse"]
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse one statement: SELECT, INSERT, or DELETE."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+__all__ = ["parse", "parse_statement"]

@@ -204,6 +204,59 @@ def write_sidecar(disk, name: str, blob: bytes) -> None:
 
 
 # ---------------------------------------------------------------------- #
+# write-epoch stamps
+# ---------------------------------------------------------------------- #
+#: trailing write-epoch stamp: magic + little-endian uint64 epoch.  The
+#: decoders above parse by offset from the front, so the trailer is
+#: invisible to them; only the scrubber and the tuple mover look at it.
+_STAMP_MAGIC = b"RZME"
+_STAMP_BYTES = 12
+
+
+def stamp_blob(blob: bytes, epoch: int) -> bytes:
+    """Append the write-epoch trailer.  Epoch 0 is a no-op so sidecars
+    of a never-written store stay byte-identical to builds that predate
+    the write path."""
+    if epoch <= 0:
+        return blob
+    return blob + _STAMP_MAGIC + struct.pack("<Q", epoch)
+
+
+def split_stamp(blob: bytes) -> Tuple[bytes, int]:
+    """``(payload without trailer, stamped epoch)`` — epoch 0 when the
+    blob carries no trailer."""
+    if len(blob) >= _STAMP_BYTES and blob[-_STAMP_BYTES:-8] == _STAMP_MAGIC:
+        (epoch,) = struct.unpack("<Q", blob[-8:])
+        return blob[:-_STAMP_BYTES], epoch
+    return blob, 0
+
+
+def stamp_sidecars(disk, epoch: int) -> None:
+    """Rewrite every sidecar on ``disk`` carrying ``epoch``'s trailer.
+
+    The tuple mover calls this on the shadow disk after a rebuild, so
+    the scrubber can tell a sidecar that is *behind a pending delta*
+    (stamp older than the store's write epoch) from one that silently
+    drifted from its data pages.  Rewrites go through the ordinary page
+    path, so the I/O is priced on whatever ledger the disk carries.
+    """
+    if epoch <= 0:
+        return
+    for name in disk.files():
+        if not is_sidecar(name):
+            continue
+        payload, _old = split_stamp(b"".join(disk.file(name).pages))
+        disk.drop(name)
+        write_sidecar(disk, name, stamp_blob(payload, epoch))
+
+
+def sidecar_epoch(disk, name: str) -> int:
+    """The write-epoch stamp of one sidecar file (0 when unstamped)."""
+    _payload, epoch = split_stamp(b"".join(disk.file(name).pages))
+    return epoch
+
+
+# ---------------------------------------------------------------------- #
 # decoded forms (read side)
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -475,4 +528,5 @@ __all__ = [
     "write_sidecar", "ColumnSynopsis", "HeapSynopsis",
     "load_column_synopsis", "load_heap_synopsis", "prune_blocks",
     "heap_page_mask", "mask_runs",
+    "stamp_blob", "split_stamp", "stamp_sidecars", "sidecar_epoch",
 ]

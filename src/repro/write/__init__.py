@@ -1,0 +1,33 @@
+"""repro.write — delta store, MVCC snapshots, and the tuple mover's API.
+
+See ``docs/writes.md``.  The package makes both engines writable without
+touching their read-optimized formats: writes buffer in a row-format WOS
+(:class:`WriteStore`) behind a priced redo journal (:class:`RedoJournal`);
+snapshot reads pin an epoch and merge base pages with the delta
+(:class:`Visibility`, :func:`delta_partial`); the engines' tuple movers
+drain the WOS into fresh base pages and advance the merge horizon.
+"""
+
+from .delta import delta_partial
+from .journal import JOURNAL_FILE, MAX_WRITE_RETRIES, RedoJournal
+from .store import (
+    FACT_TABLE,
+    VALIDATED_FOREIGN_KEYS,
+    Visibility,
+    WosRow,
+    WriteStore,
+    projection_deleted_positions,
+)
+
+__all__ = [
+    "WriteStore",
+    "Visibility",
+    "WosRow",
+    "RedoJournal",
+    "delta_partial",
+    "FACT_TABLE",
+    "VALIDATED_FOREIGN_KEYS",
+    "JOURNAL_FILE",
+    "MAX_WRITE_RETRIES",
+    "projection_deleted_positions",
+]

@@ -155,3 +155,48 @@ def test_render_bars():
     fast_line = next(l for l in text.splitlines() if "fast" in l)
     slow_line = next(l for l in text.splitlines() if "slow" in l)
     assert slow_line.count("#") == 4 * fast_line.count("#")
+
+
+def test_baseline_record_stamps_writes(tmp_path):
+    import json
+
+    from repro.bench.baseline import (
+        baseline_record,
+        load_baseline,
+        write_baseline,
+    )
+
+    grid = RunGrid("t")
+    grid.add("a", "Q1.1", 1.0)
+    record = baseline_record(grid, figure="f", scale_factor=0.004,
+                             workers=1)
+    assert record["writes"] is False  # read-only is the default stamp
+    path = tmp_path / "baseline.json"
+    write_baseline(str(path), grid, figure="f", scale_factor=0.004,
+                   workers=1, writes=True)
+    assert load_baseline(str(path))["writes"] is True
+    # a pre-write-store artifact omits the key and loads fine: callers
+    # read the absent stamp as writes-off
+    stripped = json.loads(path.read_text())
+    del stripped["writes"]
+    path.write_text(json.dumps(stripped))
+    loaded = load_baseline(str(path))
+    assert "writes" not in loaded
+    assert loaded.get("writes", False) is False
+
+
+def test_harness_writes_knob_is_ledger_invisible():
+    """A writes-enabled harness with no pending delta produces the same
+    simulated seconds as a read-only one (the acceptance bar's
+    byte-identical guarantee, at the harness level)."""
+    from repro.rowstore.designs import DesignKind
+
+    read_only = Harness(scale_factor=0.004)
+    writable = Harness(scale_factor=0.004, writes=True)
+    assert writable.system_x([DesignKind.TRADITIONAL]).writes is True
+    query = query_by_name("Q1.1")
+    cold_ro = read_only.system_x([DesignKind.TRADITIONAL]) \
+        .execute(query, DesignKind.TRADITIONAL)
+    cold_rw = writable.system_x([DesignKind.TRADITIONAL]) \
+        .execute(query, DesignKind.TRADITIONAL)
+    assert cold_ro.seconds == cold_rw.seconds

@@ -1,0 +1,114 @@
+"""Chaos on the write path: fault-injected journal appends and
+tuple-move page writes either retry to success or fail typed — and a
+failed write leaves the read-optimized store serving exactly what it
+served before."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.colstore.engine import CStore
+from repro.core.config import ExecutionConfig
+from repro.errors import WriteFaultError
+from repro.reference import execute as reference_execute
+from repro.simio.faults import FaultInjector, FaultPolicy
+from repro.ssb.generator import generate
+from repro.ssb.queries import query_by_name
+from tests.write.dml import clone_rows, write_mix
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SF = 0.004
+
+Q1_1 = query_by_name("Q1.1")
+WRITE_CONFIG = replace(ExecutionConfig.baseline(), writes=True)
+
+
+@pytest.fixture(scope="module")
+def chaos_data():
+    return generate(CHAOS_SF)
+
+
+def test_journal_fault_exhaustion_leaves_store_unmutated(chaos_data):
+    store = CStore(chaos_data)
+    clean_rows = store.execute(Q1_1, ExecutionConfig.baseline()).result.rows
+    FaultInjector(11, [FaultPolicy(file_glob="journal.redo",
+                                   write_fail_rate=1.0,
+                                   max_write_failures=1000)]) \
+        .install(store.disk)
+    with pytest.raises(WriteFaultError, match="journal append"):
+        store.insert("lineorder", clone_rows(chaos_data.lineorder, 5))
+    # the batch was never acknowledged: no epoch, no pending rows, and
+    # read-only reads still pass the gate and answer exactly as before
+    assert store.pending_writes() == 0
+    assert store.write_epoch == 0
+    after = store.execute(Q1_1, ExecutionConfig.baseline())
+    assert after.result.rows == clean_rows
+
+
+def test_journal_transient_fault_retries_to_success(chaos_data):
+    store = CStore(chaos_data)
+    FaultInjector(11, [FaultPolicy(file_glob="journal.redo",
+                                   write_fail_rate=1.0,
+                                   max_write_failures=2)]) \
+        .install(store.disk)
+    from repro.simio.stats import QueryStats
+    stats = QueryStats()
+    inserts, predicates = write_mix(chaos_data)
+    assert store.insert("lineorder", inserts, stats) == len(inserts)
+    assert store.delete("lineorder", predicates, stats) > 0
+    assert stats.io_retries > 0
+    assert stats.retry_backoff_us > 0
+    run = store.execute(Q1_1, WRITE_CONFIG)
+    expected = reference_execute(store._writes.effective_tables(),
+                                 Q1_1).rows
+    assert run.result.rows == expected
+
+
+def test_tuple_move_retries_transient_page_faults(chaos_data):
+    store = CStore(chaos_data)
+    inserts, predicates = write_mix(chaos_data)
+    store.insert("lineorder", inserts)
+    store.delete("lineorder", predicates)
+    expected = reference_execute(store._writes.effective_tables(),
+                                 Q1_1).rows
+    # page 0 of each quantity file fails exactly once; the mover's
+    # shadow rebuild retries through both and succeeds
+    FaultInjector(5, [FaultPolicy(file_glob="lineorder.*.quantity",
+                                  page_hi=1, write_fail_rate=1.0,
+                                  max_write_failures=1)]) \
+        .install(store.disk)
+    from repro.simio.stats import QueryStats
+    stats = QueryStats()
+    pending = store.pending_writes()
+    assert store.move(stats) == pending > 0
+    assert stats.io_retries > 0
+    assert stats.moves == 1
+    run = store.execute(Q1_1, ExecutionConfig.baseline())
+    assert run.result.rows == expected
+
+
+def test_tuple_move_exhaustion_keeps_old_store_serving(chaos_data):
+    store = CStore(chaos_data)
+    inserts, predicates = write_mix(chaos_data)
+    store.insert("lineorder", inserts)
+    store.delete("lineorder", predicates)
+    pending = store.pending_writes()
+    expected = reference_execute(store._writes.effective_tables(),
+                                 Q1_1).rows
+    FaultInjector(13, [FaultPolicy(file_glob="lineorder.*",
+                                   write_fail_rate=1.0,
+                                   max_write_failures=1000)]) \
+        .install(store.disk)
+    with pytest.raises(WriteFaultError, match="tuple move"):
+        store.move()
+    # the serving store is untouched: the delta is still pending and
+    # snapshot merge reads still answer exactly the reference rows
+    assert store.pending_writes() == pending
+    run = store.execute(Q1_1, WRITE_CONFIG)
+    assert run.result.rows == expected
+    # with the schedule lifted the same move drains cleanly
+    store.disk.fault_injector = None
+    assert store.move() == pending
+    post = store.execute(Q1_1, ExecutionConfig.baseline())
+    assert post.result.rows == expected

@@ -161,6 +161,40 @@ def test_bench_baseline_stamps_shards(tmp_path, capsys):
         bench_main(["--shards", "4", "--check-baseline", str(path)])
 
 
+def test_bench_baseline_stamps_writes(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "baseline.json"
+    assert bench_main(["figure5", "--sf", "0.004", "--writes", "on",
+                       "--write-baseline", str(path)]) == 0
+    record = json.loads(path.read_text())
+    assert record["writes"] is True
+    # the check re-runs with the write path enabled and passes: a
+    # writes-on engine with no pending delta is byte-identical
+    assert bench_main(["--check-baseline", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "writes on" in out
+    assert "baseline check passed" in out
+    with pytest.raises(SystemExit):
+        bench_main(["--writes", "off", "--check-baseline", str(path)])
+
+
+def test_bench_pre_write_artifact_reads_as_writes_off(tmp_path):
+    import json
+
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "schema": "repro-baseline-v1", "figure": "figure5",
+        "scale_factor": 0.004, "workers": 1,
+        "series": {"RS": {"Q1.1": 1.0}},
+    }))
+    # the artifact predates the write store, so it reads as writes-off
+    # and a writes-on check against it is a conflict, not a silent
+    # reinterpretation
+    with pytest.raises(SystemExit):
+        bench_main(["--writes", "on", "--check-baseline", str(path)])
+
+
 def test_bench_check_baseline_bad_artifact(tmp_path):
     from repro.errors import BenchmarkError
 

@@ -109,6 +109,29 @@ def test_bad_limit_renders_on_one_line(shell):
         assert "LIMIT" in out
 
 
+def test_dml_round_trip(ssb_data):
+    # a fresh shell: DML mutates engine state; keep the module fixture
+    # pristine for the read-only tests
+    shell = Shell(data=ssb_data)
+    total = ssb_data.lineorder.num_rows
+    out = shell.handle("SELECT count(*) AS n FROM lineorder")
+    assert str(total) in out and "INTERNAL ERROR" not in out
+    out = shell.handle("DELETE FROM lineorder WHERE quantity < 3")
+    assert "deleted" in out and "pending" in out
+    deleted = int(out.split()[0])
+    assert deleted > 0
+    # the merge read sees the delta and still passes \verify's oracle
+    out = shell.handle("SELECT count(*) AS n FROM lineorder")
+    assert str(total - deleted) in out and "INTERNAL ERROR" not in out
+    assert "drained" in shell.handle("\\move")
+    out = shell.handle("SELECT count(*) AS n FROM lineorder")
+    assert str(total - deleted) in out and "INTERNAL ERROR" not in out
+    # a bad insert is one structured error line, store untouched
+    out = shell.handle("INSERT INTO part (partkey) VALUES (900001)")
+    assert out.startswith("error:") and "\n" not in out
+    assert shell.handle("\\move") == "nothing pending; no-op"
+
+
 def test_cache_toggle_and_stats(shell):
     assert "cache on" in shell.handle("\\cache on")
     first = shell.handle("Q1.2")

@@ -1,0 +1,12 @@
+import pytest
+
+from repro.ssb.generator import generate
+
+#: SF 0.004 (24,000 fact rows) keeps the full MVCC acceptance matrix
+#: fast while every query still touches multiple pages per column.
+WRITE_SF = 0.004
+
+
+@pytest.fixture(scope="package")
+def wdata():
+    return generate(WRITE_SF)

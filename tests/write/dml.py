@@ -1,0 +1,50 @@
+"""Shared helpers for the write-path suites.
+
+The string columns of the generated data carry *fixed* dictionary
+domains, so arbitrary synthetic rows would be rejected at validation.
+Insert batches are therefore built by cloning existing rows (decoding
+dictionary codes back to strings), which also guarantees every foreign
+key resolves.
+"""
+
+import numpy as np
+
+from repro.plan.logical import ColumnRef, CompareOp, Comparison
+
+#: The standard write mix: this many cloned fact inserts ...
+INSERT_COUNT = 60
+#: ... plus a delete of every fact row with quantity below this.
+DELETE_BELOW_QUANTITY = 3
+
+
+def clone_rows(table, count=None, indices=None, **overrides):
+    """Rows of ``table`` as insert dicts with decoded strings.
+
+    Either the first ``count`` rows or the explicit ``indices``;
+    ``overrides`` replaces named column values in every clone.
+    """
+    if indices is None:
+        indices = range(count)
+    rows = []
+    for i in indices:
+        row = {}
+        for col in table.columns():
+            value = col.data[i]
+            if col.dictionary is not None:
+                row[col.name] = col.dictionary.decode(
+                    np.array([value]))[0]
+            else:
+                row[col.name] = int(value)
+        row.update(overrides)
+        rows.append(row)
+    return rows
+
+
+def delete_predicates():
+    return [Comparison(ColumnRef("lineorder", "quantity"),
+                       CompareOp.LT, DELETE_BELOW_QUANTITY)]
+
+
+def write_mix(data):
+    """(insert rows, delete predicates) for the standard mix."""
+    return clone_rows(data.lineorder, INSERT_COUNT), delete_predicates()

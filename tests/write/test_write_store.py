@@ -1,0 +1,239 @@
+"""WriteStore unit behavior: validation, FK rules, MVCC intervals,
+journaling, the opt-in gates, and read-only ledger identity."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.colstore.engine import CStore
+from repro.core.config import ExecutionConfig
+from repro.errors import IntegrityError, SnapshotTooOldError, WriteError
+from repro.plan.logical import ColumnRef, CompareOp, Comparison
+from repro.rowstore.designs import DesignKind
+from repro.rowstore.engine import SystemX
+from repro.simio.stats import QueryStats
+from repro.ssb.queries import query_by_name
+from repro.write.store import WriteStore
+from tests.write.dml import clone_rows, delete_predicates
+
+Q1_1 = query_by_name("Q1.1")
+
+
+@pytest.fixture
+def ws(wdata):
+    return WriteStore(dict(wdata.tables))
+
+
+# -------------------------------------------------------------------- #
+# accepted writes: epochs, journal, pending tally
+# -------------------------------------------------------------------- #
+def test_insert_bumps_epoch_and_journals(ws, wdata):
+    rows = clone_rows(wdata.lineorder, 5)
+    stats = QueryStats()
+    assert ws.insert("lineorder", rows, stats) == 5
+    assert ws.epoch == 1
+    assert ws.pending_rows() == 5
+    assert ws.journal.records == 1
+    assert stats.journal_pages > 0
+    assert ws.journal.num_pages == stats.journal_pages
+
+
+def test_delete_marks_base_positions(ws, wdata):
+    stats = QueryStats()
+    expected = int((wdata.lineorder.column("quantity").data < 3).sum())
+    assert expected > 0
+    deleted = ws.delete("lineorder", delete_predicates(), stats)
+    assert deleted == expected
+    assert ws.pending_rows() == expected
+    assert ws.epoch == 1
+    assert stats.journal_pages > 0
+    # idempotent: the same predicate now matches nothing visible
+    assert ws.delete("lineorder", delete_predicates(), QueryStats()) == 0
+    assert ws.epoch == 1  # a no-op delete burns no epoch
+
+
+def test_delete_annihilates_wos_inserts(ws, wdata):
+    quantity = wdata.lineorder.column("quantity").data
+    low = np.flatnonzero(quantity < 3)[:5]
+    assert len(low) == 5
+    ws.insert("lineorder", clone_rows(wdata.lineorder, indices=low),
+              QueryStats())
+    base_hits = int((quantity < 3).sum())
+    deleted = ws.delete("lineorder", delete_predicates(), QueryStats())
+    # the delete hits the 5 buffered clones too ...
+    assert deleted == base_hits + 5
+    # ... and annihilates them: pending is the NET row count
+    assert ws.pending_rows() == base_hits
+
+
+def test_failed_insert_is_all_or_nothing(ws, wdata):
+    good, bad = clone_rows(wdata.lineorder, 2)
+    bad["custkey"] = 987654321  # references no dimension row
+    with pytest.raises(IntegrityError, match="references no live"):
+        ws.insert("lineorder", [good, bad], QueryStats())
+    assert ws.epoch == 0
+    assert ws.pending_rows() == 0
+    assert ws.journal.records == 0
+    assert not ws.has_pending()
+
+
+# -------------------------------------------------------------------- #
+# validation and foreign-key rules
+# -------------------------------------------------------------------- #
+def test_insert_schema_mismatch(ws, wdata):
+    row = clone_rows(wdata.lineorder, 1)[0]
+    missing = dict(row)
+    del missing["quantity"]
+    with pytest.raises(IntegrityError, match="missing \\['quantity'\\]"):
+        ws.insert("lineorder", [missing], QueryStats())
+    extra = dict(row, nosuch=1)
+    with pytest.raises(IntegrityError, match="unexpected \\['nosuch'\\]"):
+        ws.insert("lineorder", [extra], QueryStats())
+
+
+def test_insert_type_and_domain_checks(ws, wdata):
+    row = clone_rows(wdata.customer, 1, custkey=900001)[0]
+    with pytest.raises(IntegrityError, match="expected an integer"):
+        ws.insert("customer", [dict(row, custkey="1")], QueryStats())
+    with pytest.raises(IntegrityError, match="expected a string"):
+        ws.insert("customer", [dict(row, city=7)], QueryStats())
+    with pytest.raises(IntegrityError, match="fixed string domain"):
+        ws.insert("customer", [dict(row, city="Atlantis")], QueryStats())
+    with pytest.raises(IntegrityError, match="does not fit"):
+        ws.insert("customer", [dict(row, custkey=2 ** 62)], QueryStats())
+    with pytest.raises(IntegrityError, match="expected an integer"):
+        ws.insert("customer", [dict(row, custkey=True)], QueryStats())
+
+
+def test_fact_insert_requires_live_dimension_keys(ws, wdata):
+    row = clone_rows(wdata.lineorder, 1, partkey=987654)[0]
+    with pytest.raises(IntegrityError,
+                       match="partkey=987654 references no live"):
+        ws.insert("lineorder", [row], QueryStats())
+
+
+def test_dimension_insert_requires_fresh_key(ws, wdata):
+    taken = int(wdata.supplier.column("suppkey").data[0])
+    row = clone_rows(wdata.supplier, 1, suppkey=taken)[0]
+    with pytest.raises(IntegrityError, match="duplicate key"):
+        ws.insert("supplier", [row], QueryStats())
+    fresh = clone_rows(wdata.supplier, 1, suppkey=900001)[0]
+    with pytest.raises(IntegrityError, match="duplicate key"):
+        ws.insert("supplier", [fresh, dict(fresh)], QueryStats())
+
+
+def test_dimension_delete_restricted_while_referenced(ws, wdata):
+    referenced = int(wdata.lineorder.column("custkey").data[0])
+    with pytest.raises(IntegrityError, match="RESTRICTed"):
+        ws.delete("customer",
+                  [Comparison(ColumnRef("customer", "custkey"),
+                              CompareOp.EQ, referenced)],
+                  QueryStats())
+
+
+def test_unreferenced_dimension_delete_allowed(ws, wdata):
+    fresh = clone_rows(wdata.customer, 1, custkey=900001)[0]
+    ws.insert("customer", [fresh], QueryStats())
+    # a WOS fact row referencing the WOS dimension row RESTRICTs it
+    fact = clone_rows(wdata.lineorder, 1, custkey=900001)[0]
+    ws.insert("lineorder", [fact], QueryStats())
+    key_pred = [Comparison(ColumnRef("customer", "custkey"),
+                           CompareOp.EQ, 900001)]
+    with pytest.raises(IntegrityError, match="RESTRICTed: buffered"):
+        ws.delete("customer", key_pred, QueryStats())
+    ws.delete("lineorder",
+              [Comparison(ColumnRef("lineorder", "custkey"),
+                          CompareOp.EQ, 900001)], QueryStats())
+    assert ws.delete("customer", key_pred, QueryStats()) == 1
+
+
+# -------------------------------------------------------------------- #
+# MVCC snapshots
+# -------------------------------------------------------------------- #
+def test_visibility_pins_an_epoch(ws, wdata):
+    clean = ws.pin()
+    ws.insert("lineorder", clone_rows(wdata.lineorder, 3), QueryStats())
+    ws.delete("lineorder", delete_predicates(), QueryStats())
+    old = ws.visibility(clean)
+    assert not old.needs_merge and not old.needs_patching
+    now = ws.visibility()
+    assert now.needs_merge and now.needs_patching
+    assert now.fact_wos.num_rows == 3
+    assert int(now.fact_deleted.sum()) > 0
+
+
+def test_effective_table_untouched_returns_base_object(ws, wdata):
+    ws.insert("lineorder", clone_rows(wdata.lineorder, 3), QueryStats())
+    assert ws.effective_table("customer") is ws.base_table("customer")
+    assert ws.effective_table("lineorder").num_rows == \
+        wdata.lineorder.num_rows + 3
+
+
+def test_snapshot_too_old_after_move(ws, wdata):
+    ws.delete("lineorder", delete_predicates(), QueryStats())
+    stale = ws.pin() - 1
+    ws.complete_move(ws.effective_tables())
+    assert not ws.has_pending()
+    with pytest.raises(SnapshotTooOldError):
+        ws.visibility(stale)
+    with pytest.raises(SnapshotTooOldError):
+        ws.effective_table("lineorder", stale)
+
+
+# -------------------------------------------------------------------- #
+# engine gates: pending writes demand the opt-in
+# -------------------------------------------------------------------- #
+def test_cstore_refuses_read_only_config_when_dirty(wdata):
+    store = CStore(wdata)
+    store.delete("lineorder", delete_predicates())
+    with pytest.raises(WriteError, match="pending writes"):
+        store.execute(Q1_1, ExecutionConfig.baseline())
+    config = dataclasses.replace(ExecutionConfig.baseline(), writes=True)
+    run = store.execute(Q1_1, config)
+    assert run.result.rows
+
+
+def test_systemx_refuses_without_engine_flag(wdata):
+    store = SystemX(wdata, designs=[DesignKind.TRADITIONAL])
+    store.delete("lineorder", delete_predicates())
+    with pytest.raises(WriteError, match="pending writes"):
+        store.execute(Q1_1, DesignKind.TRADITIONAL)
+    opted = SystemX(wdata, designs=[DesignKind.TRADITIONAL], writes=True)
+    opted.delete("lineorder", delete_predicates())
+    assert opted.execute(Q1_1, DesignKind.TRADITIONAL).result.rows
+
+
+def test_move_on_clean_engine_is_a_noop(wdata):
+    store = CStore(wdata)
+    stats = QueryStats()
+    assert store.move(stats) == 0
+    assert stats.moves == 0
+    assert store.write_epoch == 0
+
+
+# -------------------------------------------------------------------- #
+# read-only ledger identity: the write path charges nothing until a
+# write lands, and every write counter stays zero on read-only runs
+# -------------------------------------------------------------------- #
+def test_read_only_ledgers_byte_identical(wdata):
+    plain = CStore(wdata)
+    config = ExecutionConfig.baseline()
+    base = plain.execute(Q1_1, config)
+    mirrored = plain.execute(
+        Q1_1, dataclasses.replace(config, writes=True))
+    assert dataclasses.asdict(base.stats) == \
+        dataclasses.asdict(mirrored.stats)
+    for stats in (base.stats, mirrored.stats):
+        assert stats.delta_rows_merged == 0
+        assert stats.journal_pages == 0
+        assert stats.moves == 0
+
+    ro = SystemX(wdata, designs=[DesignKind.TRADITIONAL])
+    rw = SystemX(wdata, designs=[DesignKind.TRADITIONAL], writes=True)
+    left = ro.execute(Q1_1, DesignKind.TRADITIONAL)
+    right = rw.execute(Q1_1, DesignKind.TRADITIONAL)
+    assert dataclasses.asdict(left.stats) == \
+        dataclasses.asdict(right.stats)
+    assert left.stats.delta_rows_merged == 0
+    assert left.stats.journal_pages == 0

@@ -29,6 +29,11 @@
 # effective tables, and post-move reads byte-identical in ledger to a
 # cold rebuild.
 #
+# benchmarks/bench_recovery.py --check asserts the crash-recovery
+# contract: every seeded kill point on both engines cold-starts to
+# zero lost acked writes (recovered snapshot identical to an acked-only
+# replay), and clean starts keep the replay counters all zero.
+#
 # Usage:  sh benchmarks/smoke_baseline.sh  (from the repo root)
 set -e
 
@@ -49,5 +54,6 @@ PYTHONPATH=src python benchmarks/bench_zonemaps.py --check --sf "$SF"
 PYTHONPATH=src python benchmarks/bench_resilience.py --check --sf "$SF"
 PYTHONPATH=src python benchmarks/bench_sharding.py --check --sf 0.01
 PYTHONPATH=src python benchmarks/bench_writes.py --check --sf 0.01
+PYTHONPATH=src python benchmarks/bench_recovery.py --check --sf 0.01
 echo "smoke_baseline: OK (sf $SF, zone maps off+on, resilience," \
-     "sharding, writes checks)"
+     "sharding, writes, recovery checks)"

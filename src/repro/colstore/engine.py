@@ -107,6 +107,10 @@ class CStore:
         #: write epoch the current base pages (and their zone-map
         #: sidecars) reflect; bumped by the tuple mover
         self._zm_epoch = 0
+        #: the tables this engine was opened with — cold-start replay
+        #: always re-applies the journal against these, never against a
+        #: possibly-moved current base, so recovery is idempotent
+        self._genesis_tables: Dict[str, Table] = dict(data.tables)
         self.disk = SimulatedDisk()
         # installed before any load so shadow rebuilds are fault-injectable
         self.disk.fault_injector = fault_injector
@@ -248,6 +252,12 @@ class CStore:
         :class:`~repro.errors.WriteError` rather than answering wrong.
         """
         ws = self._writes
+        if (_visibility is None and ws is not None and config.writes
+                and config.move_threshold_rows is not None
+                and ws.pending_rows() > config.move_threshold_rows):
+            # automatic tuple-mover policy: drain on its own ledger so
+            # the query's ledger only ever carries query work
+            self.move()
         if _visibility is None and ws is not None and ws.has_pending():
             if not config.writes:
                 raise WriteError(
@@ -492,12 +502,42 @@ class CStore:
             return 0
         if stats is None:
             stats = QueryStats()
-        from ..errors import TransientIOError, WriteFaultError
-        from ..simio.buffer_pool import _backoff_us
-        from ..write.journal import MAX_WRITE_RETRIES
+        from ..simio.faults import (CRASH_AFTER_MOVE_SWAP,
+                                    CRASH_BEFORE_MOVE_SWAP, crash_point)
 
         moved = ws.pending_rows()
         effective = ws.effective_tables()
+        with span_context(tracer, "tuple-move"):
+            shadow = self._rebuild_from_effective(effective, ws.epoch, stats,
+                                                  crash_points=True)
+            stats.merge(shadow.disk.stats)
+            # the move record is the swap's commit point: a crash before
+            # it leaves orphan shadow pages recovery discards, a crash
+            # after it is a completed move recovery rolls forward
+            crash_point(self.disk.fault_injector, CRASH_BEFORE_MOVE_SWAP)
+            ws.journal.append({"op": "move", "epoch": ws.epoch,
+                               "rows": moved}, stats, tracer)
+            crash_point(self.disk.fault_injector, CRASH_AFTER_MOVE_SWAP)
+            self._adopt_shadow(shadow)
+            ws.complete_move(effective)
+            self._zm_epoch = ws.epoch
+            stats.moves += 1
+        return moved
+
+    def _rebuild_from_effective(self, effective: Dict[str, Table],
+                                epoch: int, stats: QueryStats,
+                                crash_points: bool = False) -> "CStore":
+        """Build (and epoch-stamp) a complete shadow engine from the
+        effective tables, retrying transient write faults with the
+        journal's backoff schedule.  Shared by the tuple mover and by
+        cold-start recovery; only the mover arms the mid-shadow kill
+        point (recovery re-running this path must not re-crash)."""
+        from ..errors import TransientIOError, WriteFaultError
+        from ..simio.buffer_pool import _backoff_us
+        from ..simio.faults import CRASH_MID_MOVE_SHADOW, crash_point
+        from ..synopsis import stamp_sidecars
+        from ..write.journal import MAX_WRITE_RETRIES
+
         data = SsbData(
             scale_factor=self.data.scale_factor,
             seed=self.data.seed,
@@ -507,47 +547,56 @@ class CStore:
             part=effective["part"],
             date=effective["date"],
         )
-        from ..synopsis import stamp_sidecars
+        for attempt in range(1, MAX_WRITE_RETRIES + 1):
+            try:
+                shadow = CStore(
+                    data, levels=self._levels,
+                    row_mv=bool(self._row_mv),
+                    cost_model=self.cost_model,
+                    buffer_pool_bytes=self._pool_bytes,
+                    fault_injector=self.disk.fault_injector)
+                if crash_points:
+                    # dies with shadow pages built but unstamped and no
+                    # move record: pure orphans, discarded on recovery
+                    crash_point(self.disk.fault_injector,
+                                CRASH_MID_MOVE_SHADOW)
+                # stamp the shadow's sidecars with the merged epoch
+                # so the scrubber can tell drift from pending delta
+                stamp_sidecars(shadow.disk, epoch)
+                return shadow
+            except TransientIOError as exc:
+                stats.io_retries += 1
+                stats.retry_backoff_us += _backoff_us(attempt)
+                if attempt == MAX_WRITE_RETRIES:
+                    raise WriteFaultError(
+                        f"tuple move failed after {MAX_WRITE_RETRIES} "
+                        f"shadow-build attempts: {exc}"
+                    ) from exc
 
-        with span_context(tracer, "tuple-move"):
-            shadow = None
-            for attempt in range(1, MAX_WRITE_RETRIES + 1):
-                try:
-                    shadow = CStore(
-                        data, levels=self._levels,
-                        row_mv=bool(self._row_mv),
-                        cost_model=self.cost_model,
-                        buffer_pool_bytes=self._pool_bytes,
-                        fault_injector=self.disk.fault_injector)
-                    # stamp the shadow's sidecars with the merged epoch
-                    # so the scrubber can tell drift from pending delta
-                    stamp_sidecars(shadow.disk, ws.epoch)
-                    break
-                except TransientIOError as exc:
-                    stats.io_retries += 1
-                    stats.retry_backoff_us += _backoff_us(attempt)
-                    if attempt == MAX_WRITE_RETRIES:
-                        raise WriteFaultError(
-                            f"tuple move failed after {MAX_WRITE_RETRIES} "
-                            f"shadow-build attempts: {exc}"
-                        ) from exc
-            stats.merge(shadow.disk.stats)
-            ws.journal.append({"op": "move", "epoch": ws.epoch,
-                               "rows": moved}, stats, tracer)
-            self.data = shadow.data
-            self.disk = shadow.disk
-            self.pool = shadow.pool
-            self._projections = shadow._projections
-            self._tables = shadow._tables
-            self._contiguous = shadow._contiguous
-            self._monotonic = shadow._monotonic
-            self._row_mv = shadow._row_mv
-            self._shard_sets = {}
-            self.disk.stats = QueryStats()
-            ws.complete_move(effective)
-            self._zm_epoch = ws.epoch
-            stats.moves += 1
-        return moved
+    def _adopt_shadow(self, shadow: "CStore") -> None:
+        """Atomically swap the shadow engine's storage in as our own."""
+        self.data = shadow.data
+        self.disk = shadow.disk
+        self.pool = shadow.pool
+        self._projections = shadow._projections
+        self._tables = shadow._tables
+        self._contiguous = shadow._contiguous
+        self._monotonic = shadow._monotonic
+        self._row_mv = shadow._row_mv
+        self._shard_sets = {}
+        self.disk.stats = QueryStats()
+
+    def recover(self, journal=None, committed_lsn: Optional[int] = None,
+                stats: Optional[QueryStats] = None,
+                tracer: Optional[Tracer] = None):
+        """Cold-start crash recovery: replay the redo journal against the
+        genesis tables, roll a committed move forward, refresh stale
+        zone-map sidecars, and adopt the recovered write store.  Returns
+        a :class:`~repro.write.recovery.RecoveryReport`; see
+        ``docs/writes.md`` ("Crash recovery")."""
+        from ..write.recovery import recover_engine
+
+        return recover_engine(self, journal, committed_lsn, stats, tracer)
 
     def storage_bytes(self) -> int:
         return self.disk.total_bytes

@@ -74,6 +74,12 @@ class ExecutionConfig:
     #: the delta.  Not part of the four-letter label: with no pending
     #: writes, on/off are byte-identical.
     writes: bool = False
+    #: automatic tuple-mover policy (requires ``writes``): run the
+    #: engine's tuple mover before a query when the write store's net
+    #: pending rows exceed this.  None (default) keeps moves manual —
+    #: the unchanged code path.  Not part of the four-letter label: a
+    #: move never changes results, only where rows live.
+    move_threshold_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.invisible_join and not self.late_materialization:
@@ -89,6 +95,12 @@ class ExecutionConfig:
             )
         if self.shards < 1:
             raise PlanError(f"shards must be >= 1, got {self.shards}")
+        if self.move_threshold_rows is not None \
+                and self.move_threshold_rows < 1:
+            raise PlanError(
+                f"move_threshold_rows must be >= 1, got "
+                f"{self.move_threshold_rows}"
+            )
 
     @property
     def label(self) -> str:

@@ -204,6 +204,46 @@ class WriteFaultError(StorageError):
     """
 
 
+class WriteContentionError(WriteError):
+    """A second writer raced into the write store mid-batch.
+
+    Batch application is not re-entrant: the journal append and the
+    buffer mutation of one batch must complete before the next begins,
+    or the journal order would no longer describe the buffer state.
+    Callers (the query service serializes DML explicitly) should retry
+    after the in-flight batch finishes; nothing was journaled or
+    buffered for the refused batch.
+    """
+
+
+class SimulatedCrashError(ReproError):
+    """A seeded crash point fired: the simulated process dies here.
+
+    Raised by :func:`repro.simio.faults.crash_point` when an armed
+    :class:`~repro.simio.faults.CrashPolicy` matches.  The crash/restart
+    harness (:mod:`repro.write.recovery`) catches it, discards every
+    in-memory structure, and re-opens the database from simulated disk
+    alone — anything not yet durable in the redo journal is gone, which
+    is exactly the contract recovery is tested against.  Carries the
+    crash point name in ``point``.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+class JournalTornError(WriteError):
+    """Cold-start replay found a *committed* journal record missing.
+
+    A torn tail of unacknowledged records is normal after a crash and is
+    silently truncated (the writes were never acknowledged).  This error
+    means the journal holds fewer valid records than the caller's
+    committed LSN — an acknowledged write would be lost — so recovery
+    refuses to produce a state that silently drops it.
+    """
+
+
 class TraceInvariantError(ReproError):
     """A query's span tree does not sum to its flat ledger.
 

@@ -97,15 +97,25 @@ class SystemX:
         zone_maps: bool = False,
         shards: int = 1,
         writes: bool = False,
+        move_threshold_rows: Optional[int] = None,
         fault_injector=None,
     ) -> None:
         if shards < 1:
             raise PlanError(f"shards must be >= 1, got {shards}")
+        if move_threshold_rows is not None and move_threshold_rows < 1:
+            raise PlanError(
+                f"move_threshold_rows must be >= 1, got {move_threshold_rows}"
+            )
         self.data = data
         self.cost_model = cost_model
         self.zone_maps = zone_maps
         self.shards = shards
         self.writes = writes
+        #: automatic tuple-mover policy: drain the WOS before a query
+        #: when net pending rows exceed this (None = manual moves only).
+        #: Engine-level, like ``writes`` — System X has no per-query
+        #: config object.
+        self.move_threshold_rows = move_threshold_rows
         #: [(FactShard, child SystemX)], built lazily on first sharded run
         self._shard_children: Optional[List[Tuple[object, "SystemX"]]] = None
         #: lazily created delta store (first accepted write); None means
@@ -122,6 +132,10 @@ class SystemX:
             join_memory_bytes = max(MIN_POOL_BYTES,
                                     int(PAPER_JOIN_MEMORY_BYTES * scale))
         self._pool_bytes = buffer_pool_bytes
+        #: the tables this engine was opened with — cold-start replay
+        #: always re-applies the journal against these, never against a
+        #: possibly-moved current base, so recovery is idempotent
+        self._genesis_tables = dict(data.tables)
         self.disk = SimulatedDisk()
         # installed before any build so shadow rebuilds are fault-injectable
         self.disk.fault_injector = fault_injector
@@ -202,6 +216,12 @@ class SystemX:
                 f"{[d.value for d in self.designs]}"
             )
         ws = self._writes
+        if (_visibility is None and ws is not None and self.writes
+                and self.move_threshold_rows is not None
+                and ws.pending_rows() > self.move_threshold_rows):
+            # automatic tuple-mover policy: drain on its own ledger so
+            # the query's ledger only ever carries query work
+            self.move()
         if _visibility is None and ws is not None and ws.has_pending():
             if not self.writes:
                 raise WriteError(
@@ -432,13 +452,42 @@ class SystemX:
             return 0
         if stats is None:
             stats = QueryStats()
-        from ..errors import TransientIOError, WriteFaultError
-        from ..simio.buffer_pool import _backoff_us
-        from ..synopsis import stamp_sidecars
-        from ..write.journal import MAX_WRITE_RETRIES
+        from ..simio.faults import (CRASH_AFTER_MOVE_SWAP,
+                                    CRASH_BEFORE_MOVE_SWAP, crash_point)
 
         moved = ws.pending_rows()
         effective = ws.effective_tables()
+        with span_context(tracer, "tuple-move"):
+            shadow = self._rebuild_from_effective(effective, ws.epoch, stats,
+                                                  crash_points=True)
+            stats.merge(shadow.disk.stats)
+            # the move record is the swap's commit point: a crash before
+            # it leaves orphan shadow pages recovery discards, a crash
+            # after it is a completed move recovery rolls forward
+            crash_point(self.disk.fault_injector, CRASH_BEFORE_MOVE_SWAP)
+            ws.journal.append({"op": "move", "epoch": ws.epoch,
+                               "rows": moved}, stats, tracer)
+            crash_point(self.disk.fault_injector, CRASH_AFTER_MOVE_SWAP)
+            self._adopt_shadow(shadow)
+            ws.complete_move(effective)
+            self._zm_epoch = ws.epoch
+            stats.moves += 1
+        return moved
+
+    def _rebuild_from_effective(self, effective, epoch: int,
+                                stats: QueryStats,
+                                crash_points: bool = False) -> "SystemX":
+        """Build (and epoch-stamp) a complete shadow engine from the
+        effective tables, retrying transient write faults with the
+        journal's backoff schedule.  Shared by the tuple mover and by
+        cold-start recovery; only the mover arms the mid-shadow kill
+        point (recovery re-running this path must not re-crash)."""
+        from ..errors import TransientIOError, WriteFaultError
+        from ..simio.buffer_pool import _backoff_us
+        from ..simio.faults import CRASH_MID_MOVE_SHADOW, crash_point
+        from ..synopsis import stamp_sidecars
+        from ..write.journal import MAX_WRITE_RETRIES
+
         data = SsbData(
             scale_factor=self.data.scale_factor,
             seed=self.data.seed,
@@ -448,45 +497,63 @@ class SystemX:
             part=effective["part"],
             date=effective["date"],
         )
-        with span_context(tracer, "tuple-move"):
-            shadow = None
-            for attempt in range(1, MAX_WRITE_RETRIES + 1):
-                try:
-                    shadow = SystemX(
-                        data, designs=self.designs,
-                        cost_model=self.cost_model,
-                        buffer_pool_bytes=self._pool_bytes,
-                        join_memory_bytes=self.join_memory_bytes,
-                        zone_maps=self.zone_maps,
-                        writes=self.writes,
-                        fault_injector=self.disk.fault_injector)
-                    # stamp the shadow's sidecars with the merged epoch
-                    # so the scrubber can tell drift from pending delta
-                    stamp_sidecars(shadow.disk, ws.epoch)
-                    break
-                except TransientIOError as exc:
-                    stats.io_retries += 1
-                    stats.retry_backoff_us += _backoff_us(attempt)
-                    if attempt == MAX_WRITE_RETRIES:
-                        raise WriteFaultError(
-                            f"tuple move failed after {MAX_WRITE_RETRIES} "
-                            f"shadow-build attempts: {exc}"
-                        ) from exc
-            stats.merge(shadow.disk.stats)
-            ws.journal.append({"op": "move", "epoch": ws.epoch,
-                               "rows": moved}, stats, tracer)
-            self.data = shadow.data
-            self.disk = shadow.disk
-            self.pool = shadow.pool
-            self.statistics = shadow.statistics
-            self.artifacts = shadow.artifacts
-            self._built = shadow._built
-            self._shard_children = None
-            self.disk.stats = QueryStats()
-            ws.complete_move(effective)
-            self._zm_epoch = ws.epoch
-            stats.moves += 1
-        return moved
+        for attempt in range(1, MAX_WRITE_RETRIES + 1):
+            try:
+                shadow = SystemX(
+                    data, designs=self.designs,
+                    cost_model=self.cost_model,
+                    buffer_pool_bytes=self._pool_bytes,
+                    join_memory_bytes=self.join_memory_bytes,
+                    zone_maps=self.zone_maps,
+                    writes=self.writes,
+                    fault_injector=self.disk.fault_injector)
+                if crash_points:
+                    # dies with shadow pages built but unstamped and no
+                    # move record: pure orphans, discarded on recovery
+                    crash_point(self.disk.fault_injector,
+                                CRASH_MID_MOVE_SHADOW)
+                # stamp the shadow's sidecars with the merged epoch
+                # so the scrubber can tell drift from pending delta
+                stamp_sidecars(shadow.disk, epoch)
+                return shadow
+            except TransientIOError as exc:
+                stats.io_retries += 1
+                stats.retry_backoff_us += _backoff_us(attempt)
+                if attempt == MAX_WRITE_RETRIES:
+                    raise WriteFaultError(
+                        f"tuple move failed after {MAX_WRITE_RETRIES} "
+                        f"shadow-build attempts: {exc}"
+                    ) from exc
+
+    def _adopt_shadow(self, shadow: "SystemX") -> None:
+        """Atomically swap the shadow engine's storage in as our own."""
+        self.data = shadow.data
+        self.disk = shadow.disk
+        self.pool = shadow.pool
+        self.statistics = shadow.statistics
+        self.artifacts = shadow.artifacts
+        self._built = shadow._built
+        self._shard_children = None
+        self.disk.stats = QueryStats()
+
+    def snapshot_tables(self):
+        """The tables a reference oracle should replay: the current base
+        merged with any pending delta (post-move, the adopted base)."""
+        if self._writes is None:
+            return self.data.tables
+        return self._writes.effective_tables()
+
+    def recover(self, journal=None, committed_lsn: Optional[int] = None,
+                stats: Optional[QueryStats] = None,
+                tracer: Optional[Tracer] = None):
+        """Cold-start crash recovery: replay the redo journal against the
+        genesis tables, roll a committed move forward, refresh stale
+        zone-map sidecars, and adopt the recovered write store.  Returns
+        a :class:`~repro.write.recovery.RecoveryReport`; see
+        ``docs/writes.md`` ("Crash recovery")."""
+        from ..write.recovery import recover_engine
+
+        return recover_engine(self, journal, committed_lsn, stats, tracer)
 
     def storage_bytes(self) -> int:
         """Total simulated disk occupied by all built artifacts."""

@@ -399,5 +399,11 @@ if __name__ == "__main__":
     sys.exit(main())
 
 
+#: Public alias: cold-start recovery (``repro.write.recovery``) reuses
+#: the scrubber's stale-synopsis pass to re-derive zone-map sidecars
+#: whose epoch stamp trails the recovered epoch.
+rebuild_stale_synopses = _rebuild_stale_synopses
+
+
 __all__ = ["FileHealth", "ScrubReport", "audit_disk", "repair_page",
-           "scrub_store", "main", "ScrubError"]
+           "scrub_store", "rebuild_stale_synopses", "main", "ScrubError"]

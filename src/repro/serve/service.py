@@ -335,6 +335,7 @@ class ServiceStats:
     cancelled: int = 0              #: cooperative mid-execution cancels
     writes: int = 0                 #: INSERT/DELETE statements applied
     moves: int = 0                  #: tuple-mover runs
+    recoveries: int = 0             #: cold-start journal replays
     degraded_hits: int = 0          #: cache answers under an open breaker
     breaker_opens: int = 0
     breaker_half_opens: int = 0
@@ -367,6 +368,7 @@ class ServiceStats:
                 "cancelled": self.cancelled,
                 "writes": self.writes,
                 "moves": self.moves,
+                "recoveries": self.recoveries,
                 "degraded_hits": self.degraded_hits,
                 "breaker_opens": self.breaker_opens,
                 "breaker_half_opens": self.breaker_half_opens,
@@ -439,6 +441,11 @@ class QueryService:
         self.sessions: Dict[str, Session] = {}
         self._session_seq = 0
         self._session_lock = threading.Lock()
+        #: explicit DML serialization: one statement's multi-engine
+        #: application completes before the next begins, so racing
+        #: writers queue here instead of tripping the write store's
+        #: WriteContentionError
+        self._dml_lock = threading.Lock()
         self._closed = False
 
     # -------------------------------------------------------------- #
@@ -523,6 +530,35 @@ class QueryService:
         self.stats.note(moves=1)
         return count
 
+    def recover(self) -> Dict[str, object]:
+        """Cold-start crash recovery for every attached engine.
+
+        Replays each engine's redo journal against its genesis tables
+        (see ``docs/writes.md``, "Crash recovery") under the DML and
+        engine locks, so recovery never interleaves with a write or an
+        executing query.  Each engine's replay runs on its own ledger
+        under a ``recovery`` root span; the verified trace rides on the
+        returned report.  The cache is invalidated wholesale — recovered
+        state supersedes anything admitted before the restart.  Returns
+        ``{engine name: RecoveryReport}``.
+        """
+        if self._closed:
+            raise AdmissionError("service is closed")
+        reports: Dict[str, object] = {}
+        with self._dml_lock:
+            for name in sorted(self._adapters):
+                engine = self._adapters[name].engine
+                with self._engine_locks[name]:
+                    ledger = QueryStats()
+                    tracer = Tracer(ledger, self.cost_model,
+                                    root_name="recovery")
+                    report = engine.recover(stats=ledger, tracer=tracer)
+                    report.trace = tracer.finish(ledger)
+                    reports[name] = report
+        self.cache.invalidate()
+        self.stats.note(recoveries=1)
+        return reports
+
     def _write(self, apply_fn, stats: Optional[QueryStats]) -> int:
         """Apply one mutation to every attached engine, under its lock.
 
@@ -534,10 +570,15 @@ class QueryService:
         if stats is None:
             stats = QueryStats()
         counts = {}
-        for name in sorted(self._adapters):
-            engine = self._adapters[name].engine
-            with self._engine_locks[name]:
-                counts[name] = apply_fn(engine, stats)
+        # the DML lock serializes whole statements: without it two
+        # writers could interleave across the per-engine locks (engine A
+        # sees X then Y, engine B sees Y then X) and the journals would
+        # disagree on epoch order
+        with self._dml_lock:
+            for name in sorted(self._adapters):
+                engine = self._adapters[name].engine
+                with self._engine_locks[name]:
+                    counts[name] = apply_fn(engine, stats)
         if len(set(counts.values())) > 1:
             raise ReproError(
                 f"engines disagree on rows affected: {counts} — attached "

@@ -44,6 +44,8 @@ Enter SQL (SSB dialect — SELECT, INSERT, or DELETE), an SSB query name
   \\config tICL..Ticl   column-store configuration (default: tICL)
   \\explain <query>     show both engines' plans for SQL or Qx.y
   \\move                drain pending writes into the base pages
+  \\recover             cold-start crash recovery: replay the redo
+                       journal on every engine (see docs/writes.md)
   \\verify on|off       cross-check results against the oracle
   \\cache on|off|clear  semantic result cache (default: off)
   \\serve stats         service, cache, and resilience counters
@@ -176,6 +178,10 @@ class Shell:
             moved = self.service.move()
             return (f"tuple mover drained {moved} row(s) into the base "
                     f"pages" if moved else "nothing pending; no-op")
+        if command == "\\recover":
+            reports = self.service.recover()
+            return "\n".join(f"  {name}: {report.render()}"
+                             for name, report in sorted(reports.items()))
         return f"error: unknown command {command!r} (try \\help)"
 
     def _serve_stats(self) -> str:

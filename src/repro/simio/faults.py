@@ -30,10 +30,28 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import StorageError
+from ..errors import SimulatedCrashError, StorageError
 
 #: What :meth:`FaultInjector.install` returns: (file, page, fault kind).
 CorruptionLog = List[Tuple[str, int, str]]
+
+#: The five kill points the write path exposes (see ``docs/writes.md``,
+#: "Crash recovery").  Each sits on one side of a durability boundary:
+#: the journal-append pair brackets the only I/O that makes a batch
+#: durable, and the move trio brackets the shadow rebuild and the
+#: epoch-stamped move record that commits a swap.
+CRASH_BEFORE_JOURNAL_APPEND = "crash:before-journal-append"
+CRASH_AFTER_JOURNAL_APPEND = "crash:after-journal-append"
+CRASH_MID_MOVE_SHADOW = "crash:mid-move-shadow"
+CRASH_BEFORE_MOVE_SWAP = "crash:before-move-swap"
+CRASH_AFTER_MOVE_SWAP = "crash:after-move-swap"
+CRASH_POINTS: Tuple[str, ...] = (
+    CRASH_BEFORE_JOURNAL_APPEND,
+    CRASH_AFTER_JOURNAL_APPEND,
+    CRASH_MID_MOVE_SHADOW,
+    CRASH_BEFORE_MOVE_SWAP,
+    CRASH_AFTER_MOVE_SWAP,
+)
 
 
 def _unit(seed: int, kind: str, name: str, page_no: int) -> float:
@@ -76,6 +94,59 @@ class FaultPolicy:
         return self.page_hi is None or page_no < self.page_hi
 
 
+@dataclass(frozen=True)
+class CrashPolicy:
+    """Arm one kill point: the process "dies" the ``at``-th time the
+    write path passes it.
+
+    ``at=None`` draws the arrival deterministically from the injector's
+    seed in ``[1, max_at]`` — the seeded schedule the chaos soak uses so
+    different seeds kill different batches, reproducibly.  A policy
+    fires exactly once; recovery re-running the same code path does not
+    re-trip it.
+    """
+
+    point: str
+    at: Optional[int] = 1
+    max_at: int = 3
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise StorageError(
+                f"unknown crash point {self.point!r}; choices are "
+                f"{list(CRASH_POINTS)}"
+            )
+        if self.at is not None and self.at < 1:
+            raise StorageError(f"CrashPolicy.at must be >= 1, got {self.at}")
+        if self.max_at < 1:
+            raise StorageError(
+                f"CrashPolicy.max_at must be >= 1, got {self.max_at}"
+            )
+
+    def resolved_at(self, seed: int) -> int:
+        """The arrival count this policy fires on (seed-drawn when
+        ``at`` is None)."""
+        if self.at is not None:
+            return self.at
+        return 1 + int(_unit(seed, "crash-at", self.point, 0) * self.max_at)
+
+
+def crash_point(injector, point: str) -> None:
+    """The write path's kill switch: raise
+    :class:`~repro.errors.SimulatedCrashError` if ``injector`` has an
+    armed :class:`CrashPolicy` due at this arrival.
+
+    ``injector`` may be ``None`` (a perfect disk) or any object without
+    crash support — both are free no-ops, so read paths and crash-free
+    write runs are untouched by the existence of this hook.
+    """
+    if injector is None:
+        return
+    take = getattr(injector, "take_crash", None)
+    if take is not None and take(point):
+        raise SimulatedCrashError(point)
+
+
 class FaultInjector:
     """A seeded, policy-driven fault schedule over one simulated disk.
 
@@ -86,13 +157,18 @@ class FaultInjector:
     """
 
     def __init__(self, seed: int = 0,
-                 policies: Sequence[FaultPolicy] = ()) -> None:
+                 policies: Sequence[FaultPolicy] = (),
+                 crashes: Sequence[CrashPolicy] = ()) -> None:
         self.seed = seed
         self.policies: Tuple[FaultPolicy, ...] = tuple(policies)
+        self.crashes: Tuple[CrashPolicy, ...] = tuple(crashes)
         self.corrupted: CorruptionLog = []
         self._lock = threading.Lock()
         self._transient_taken: Dict[Tuple[str, int], int] = {}
         self._write_taken: Dict[Tuple[str, int], int] = {}
+        #: arrivals seen per crash point / points already fired
+        self._crash_hits: Dict[str, int] = {}
+        self._crash_fired: set = set()
 
     # ------------------------------------------------------------------ #
     # transient errors (consumed by the read path)
@@ -133,6 +209,30 @@ class FaultInjector:
         with self._lock:
             self._transient_taken.clear()
             self._write_taken.clear()
+
+    # ------------------------------------------------------------------ #
+    # crash points (consumed by the write path via :func:`crash_point`)
+    # ------------------------------------------------------------------ #
+    def take_crash(self, point: str) -> bool:
+        """Count one arrival at ``point``; True exactly when an armed
+        policy's resolved arrival is reached (each policy fires once)."""
+        if not self.crashes:
+            return False
+        with self._lock:
+            hits = self._crash_hits.get(point, 0) + 1
+            self._crash_hits[point] = hits
+            for policy in self.crashes:
+                if policy.point != point or policy in self._crash_fired:
+                    continue
+                if hits == policy.resolved_at(self.seed):
+                    self._crash_fired.add(policy)
+                    return True
+        return False
+
+    def crash_pending(self) -> bool:
+        """Any armed crash policy that has not fired yet?"""
+        with self._lock:
+            return any(p not in self._crash_fired for p in self.crashes)
 
     # ------------------------------------------------------------------ #
     # write faults (consumed by the append path: journal, tuple mover)
@@ -259,5 +359,44 @@ def injector_from_profile(profile: str, seed: int = 0) -> FaultInjector:
     return FaultInjector(seed=seed, policies=policies)
 
 
+#: Named crash schedules for the ``--crash-profile`` flag (verifier and
+#: recovery bench).  Each maps to the kill points it arms; the arrival is
+#: seed-drawn (``at=None``) so different seeds kill different batches.
+CRASH_PROFILES: Dict[str, Tuple[str, ...]] = {
+    "journal": (CRASH_BEFORE_JOURNAL_APPEND, CRASH_AFTER_JOURNAL_APPEND),
+    "move": (CRASH_MID_MOVE_SHADOW, CRASH_BEFORE_MOVE_SWAP,
+             CRASH_AFTER_MOVE_SWAP),
+    "all": CRASH_POINTS,
+}
+
+#: One-line description per crash profile (``--crash-profile list``).
+CRASH_PROFILE_NOTES: Dict[str, str] = {
+    "journal": "kill on either side of a journal append (torn-tail model)",
+    "move": "kill mid-shadow-build or around the move-commit record",
+    "all": "every kill point the write path exposes, one run each",
+}
+
+
+def crash_policies_from_profile(profile: str, seed: int = 0,
+                                max_at: int = 3) -> Tuple[CrashPolicy, ...]:
+    """The seed-drawn :class:`CrashPolicy` set for a named crash profile
+    (see :data:`CRASH_PROFILES`)."""
+    try:
+        points = CRASH_PROFILES[profile]
+    except KeyError:
+        raise StorageError(
+            f"unknown crash profile {profile!r}; choices are "
+            f"{sorted(CRASH_PROFILES)}"
+        ) from None
+    del seed  # the draw happens at resolve time, from the injector's seed
+    return tuple(CrashPolicy(point, at=None, max_at=max_at)
+                 for point in points)
+
+
 __all__ = ["FaultPolicy", "FaultInjector", "PROFILES", "PROFILE_NOTES",
-           "injector_from_profile"]
+           "injector_from_profile",
+           "CrashPolicy", "crash_point", "crash_policies_from_profile",
+           "CRASH_POINTS", "CRASH_PROFILES", "CRASH_PROFILE_NOTES",
+           "CRASH_BEFORE_JOURNAL_APPEND", "CRASH_AFTER_JOURNAL_APPEND",
+           "CRASH_MID_MOVE_SHADOW", "CRASH_BEFORE_MOVE_SWAP",
+           "CRASH_AFTER_MOVE_SWAP"]

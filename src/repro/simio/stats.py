@@ -98,6 +98,13 @@ class QueryStats:
     journal_pages: int = 0       #: redo-journal pages appended
     moves: int = 0               #: tuple-mover drains (WOS -> base pages)
 
+    # --- crash recovery (maintained by repro.write.recovery; all zero
+    # on clean starts, so every existing ledger stays byte-identical
+    # with the recovery path present) ---
+    journal_replay_pages: int = 0  #: journal pages scanned by cold-start replay
+    recovered_batches: int = 0   #: journaled DML batches re-applied by replay
+    torn_tail_records: int = 0   #: tail records truncated (torn or unacked)
+
     # --- serving / semantic cache (maintained by repro.serve; all zero
     # on a direct engine call, so engine ledgers are unchanged by the
     # existence of the service layer) ---

@@ -6,10 +6,20 @@ touching their read-optimized formats: writes buffer in a row-format WOS
 snapshot reads pin an epoch and merge base pages with the delta
 (:class:`Visibility`, :func:`delta_partial`); the engines' tuple movers
 drain the WOS into fresh base pages and advance the merge horizon.
+Cold-start crash recovery (:mod:`repro.write.recovery`) replays the
+journal after a simulated crash — see ``docs/writes.md``, "Crash
+recovery", and the durability verifier ``python -m repro.write.verify``.
 """
 
 from .delta import delta_partial
 from .journal import JOURNAL_FILE, MAX_WRITE_RETRIES, RedoJournal
+from .recovery import (
+    CrashHarness,
+    RecoveryReport,
+    recover_engine,
+    recover_store,
+    scan_journal,
+)
 from .store import (
     FACT_TABLE,
     VALIDATED_FOREIGN_KEYS,
@@ -30,4 +40,9 @@ __all__ = [
     "JOURNAL_FILE",
     "MAX_WRITE_RETRIES",
     "projection_deleted_positions",
+    "CrashHarness",
+    "RecoveryReport",
+    "recover_engine",
+    "recover_store",
+    "scan_journal",
 ]

@@ -25,6 +25,8 @@ from ..errors import TransientIOError, WriteFaultError
 from ..obs import Tracer, span_context
 from ..simio.buffer_pool import MAX_READ_RETRIES, _backoff_us
 from ..simio.disk import PAGE_SIZE, SimulatedDisk
+from ..simio.faults import (CRASH_AFTER_JOURNAL_APPEND,
+                            CRASH_BEFORE_JOURNAL_APPEND, crash_point)
 from ..simio.stats import QueryStats
 
 #: Write retries share the read path's bound — one knob, two paths.
@@ -47,6 +49,11 @@ class RedoJournal:
     def num_pages(self) -> int:
         return self.disk.file(JOURNAL_FILE).num_pages
 
+    @property
+    def lsn(self) -> int:
+        """The LSN of the last appended record (1-based record ordinal)."""
+        return self.records
+
     def append(self, record: Dict, stats: QueryStats,
                tracer: Optional[Tracer] = None) -> int:
         """Serialize ``record``, append it page by page, return page count.
@@ -56,7 +63,13 @@ class RedoJournal:
         :data:`MAX_WRITE_RETRIES` consecutive failures on one page; pages
         already appended stay appended (a torn record tail is detectable
         and harmless — the record was never acknowledged).
+
+        The two journal kill points bracket this method's I/O:
+        ``crash:before-journal-append`` dies with nothing of the record
+        durable, ``crash:after-journal-append`` dies with the record
+        fully durable but the caller never acknowledged.
         """
+        crash_point(self.disk.fault_injector, CRASH_BEFORE_JOURNAL_APPEND)
         payload = json.dumps(record, sort_keys=True,
                              separators=(",", ":")).encode("ascii")
         chunks = [payload[i:i + PAGE_SIZE]
@@ -71,7 +84,19 @@ class RedoJournal:
         finally:
             self.disk.stats = saved
         self.records += 1
+        crash_point(self.disk.fault_injector, CRASH_AFTER_JOURNAL_APPEND)
         return len(chunks)
+
+    def truncate_pages(self, keep_pages: int) -> None:
+        """Physically drop every journal page past ``keep_pages``.
+
+        Recovery uses this to erase a torn tail so that a second recovery
+        of the same journal sees a clean end — truncation is what makes
+        replay idempotent.
+        """
+        f = self.disk.file(JOURNAL_FILE)
+        del f.pages[keep_pages:]
+        del f.checksums[keep_pages:]
 
     def _append_with_retry(self, chunk: bytes, stats: QueryStats) -> None:
         for attempt in range(1, MAX_WRITE_RETRIES + 1):

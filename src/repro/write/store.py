@@ -31,12 +31,14 @@ raise :class:`~repro.errors.SnapshotTooOldError`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import IntegrityError, SnapshotTooOldError, WriteError
+from ..errors import (IntegrityError, SnapshotTooOldError,
+                      WriteContentionError, WriteError)
 from ..obs import Tracer
 from ..plan.logical import (
     Comparison,
@@ -117,7 +119,8 @@ class Visibility:
 class WriteStore:
     """Per-database delta store: WOS buffers, deleted maps, journal."""
 
-    def __init__(self, tables: Dict[str, Table]) -> None:
+    def __init__(self, tables: Dict[str, Table],
+                 journal: Optional[RedoJournal] = None) -> None:
         if FACT_TABLE not in tables:
             raise WriteError(f"write store requires a {FACT_TABLE!r} table")
         self._base: Dict[str, Table] = dict(tables)
@@ -127,9 +130,21 @@ class WriteStore:
         self._wos: Dict[str, List[WosRow]] = {n: [] for n in tables}
         #: base position -> epoch that deleted it
         self._base_deleted: Dict[str, Dict[int, int]] = {n: {} for n in tables}
-        self.journal = RedoJournal()
+        #: an existing journal may be adopted (cold-start replay re-applies
+        #: a surviving journal against fresh base tables)
+        self.journal = journal if journal is not None else RedoJournal()
         # projection-space deleted positions, keyed (epoch, sort keys)
         self._proj_cache: Dict[Tuple[int, Tuple[str, ...]], np.ndarray] = {}
+        # batch application is not re-entrant: journal order must match
+        # buffer mutation order, so a racing second writer is refused typed
+        self._apply_lock = threading.Lock()
+
+    def _enter_batch(self) -> None:
+        if not self._apply_lock.acquire(blocking=False):
+            raise WriteContentionError(
+                "write store busy: another batch is mid-application; "
+                "retry after it finishes"
+            )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -170,31 +185,44 @@ class WriteStore:
         :class:`~repro.errors.WriteFaultError`) leaves the store exactly
         as it was.  Returns the number of rows inserted.
         """
-        base = self.base_table(table)
-        if not rows:
-            return 0
-        checked = [self._validate_row(table, base, dict(r)) for r in rows]
-        if table == FACT_TABLE:
-            self._check_fact_references(checked)
-        else:
-            self._check_dimension_uniqueness(table, base, checked)
-        new_epoch = self.epoch + 1
-        self.journal.append(
-            {"op": "insert", "table": table, "epoch": new_epoch,
-             "rows": checked},
-            stats, tracer,
-        )
-        self.epoch = new_epoch
-        self._wos[table].extend(
-            WosRow(values=r, insert_epoch=new_epoch) for r in checked
-        )
-        return len(checked)
+        self._enter_batch()
+        try:
+            base = self.base_table(table)
+            if not rows:
+                return 0
+            checked = [self._validate_row(table, base, dict(r))
+                       for r in rows]
+            if table == FACT_TABLE:
+                self._check_fact_references(checked)
+            else:
+                self._check_dimension_uniqueness(table, base, checked)
+            new_epoch = self.epoch + 1
+            self.journal.append(
+                {"op": "insert", "table": table, "epoch": new_epoch,
+                 "rows": checked},
+                stats, tracer,
+            )
+            self.epoch = new_epoch
+            self._wos[table].extend(
+                WosRow(values=r, insert_epoch=new_epoch) for r in checked
+            )
+            return len(checked)
+        finally:
+            self._apply_lock.release()
 
     def delete(self, table: str, predicates: Sequence[Predicate],
                stats: QueryStats, tracer: Optional[Tracer] = None) -> int:
         """Mark every visible row of ``table`` matching all ``predicates``
         as deleted.  Dimension deletes are RESTRICTed while referenced.
         Returns the number of rows deleted (0 is not an error)."""
+        self._enter_batch()
+        try:
+            return self._delete_locked(table, predicates, stats, tracer)
+        finally:
+            self._apply_lock.release()
+
+    def _delete_locked(self, table: str, predicates: Sequence[Predicate],
+                       stats: QueryStats, tracer: Optional[Tracer]) -> int:
         base = self.base_table(table)
         for p in predicates:
             if p.table != table:
@@ -208,8 +236,9 @@ class WriteStore:
             mask &= eval_predicate(base.column(p.column), p)
         base_hits = [int(pos) for pos in np.flatnonzero(mask)
                      if int(pos) not in deleted_map]
+        wos = self._wos[table]
         wos_hits = [
-            row for row in self._wos[table]
+            idx for idx, row in enumerate(wos)
             if row.delete_epoch is None
             and all(_row_matches(row.values, p) for p in predicates)
         ]
@@ -218,22 +247,85 @@ class WriteStore:
         if table != FACT_TABLE:
             key_column = base.columns()[0].name
             keys = {base.column(key_column).data[pos] for pos in base_hits}
-            keys |= {row.values[key_column] for row in wos_hits}
+            keys |= {wos[idx].values[key_column] for idx in wos_hits}
             self._check_dimension_unreferenced(table, key_column,
                                                {int(k) for k in keys})
         new_epoch = self.epoch + 1
+        # "wos" holds indices into the per-table WOS list at delete time —
+        # replayable because the list only ever appends between moves, so
+        # replay reconstructs the identical list and the indices land on
+        # the identical rows
         self.journal.append(
             {"op": "delete", "table": table, "epoch": new_epoch,
              "predicates": [str(p) for p in predicates],
-             "base_positions": base_hits, "wos_rows": len(wos_hits)},
+             "base_positions": base_hits, "wos": wos_hits,
+             "wos_rows": len(wos_hits)},
             stats, tracer,
         )
         self.epoch = new_epoch
         for pos in base_hits:
             deleted_map[pos] = new_epoch
-        for row in wos_hits:
-            row.delete_epoch = new_epoch
+        for idx in wos_hits:
+            wos[idx].delete_epoch = new_epoch
         return len(base_hits) + len(wos_hits)
+
+    # ------------------------------------------------------------------ #
+    # replay (cold-start recovery)
+    # ------------------------------------------------------------------ #
+    def apply_record(self, record: Dict) -> None:
+        """Re-apply one journaled record without re-journaling it.
+
+        Used only by :mod:`repro.write.recovery`: records are replayed in
+        LSN order against the genesis base tables, so validation already
+        ran when the record was first accepted and is skipped here.
+        """
+        op = record.get("op")
+        epoch = int(record.get("epoch", -1))
+        if op in ("insert", "delete") and epoch != self.epoch + 1:
+            raise WriteError(
+                f"journal replay out of order: record epoch {epoch} after "
+                f"store epoch {self.epoch}"
+            )
+        if op == "insert":
+            self._wos[record["table"]].extend(
+                WosRow(values=dict(r), insert_epoch=epoch)
+                for r in record["rows"]
+            )
+            self.epoch = epoch
+        elif op == "delete":
+            deleted_map = self._base_deleted[record["table"]]
+            for pos in record["base_positions"]:
+                deleted_map[int(pos)] = epoch
+            wos = self._wos[record["table"]]
+            for idx in record.get("wos", ()):
+                wos[int(idx)].delete_epoch = epoch
+            self.epoch = epoch
+        elif op == "move":
+            if epoch != self.epoch:
+                raise WriteError(
+                    f"journal replay: move record at epoch {epoch} does "
+                    f"not match store epoch {self.epoch}"
+                )
+            self.complete_move(self.effective_tables())
+        else:
+            raise WriteError(f"journal replay: unknown op {op!r}")
+
+    @classmethod
+    def recover(cls, tables: Dict[str, Table], journal: RedoJournal,
+                committed_lsn: Optional[int] = None,
+                stats: Optional[QueryStats] = None,
+                tracer: Optional[Tracer] = None) -> "WriteStore":
+        """Cold-start replay: rebuild a store from genesis ``tables`` and
+        a surviving ``journal`` (see :mod:`repro.write.recovery`).
+
+        Returns the recovered store; its :class:`RecoveryReport` is left
+        on ``store.last_recovery``.
+        """
+        from .recovery import recover_store
+        store, report = recover_store(tables, journal, committed_lsn,
+                                      stats, tracer)
+        store.last_recovery = report
+        return store
 
     # ------------------------------------------------------------------ #
     # validation

@@ -1,0 +1,31 @@
+"""The full crash/recovery chaos matrix: every kill point × both
+engines, recovered state verified acked-present / unacked-absent with
+all 13 SSB queries row-identical to a never-crashed reference engine at
+the same epoch (delegates to the durability verifier's checks)."""
+
+import pytest
+
+from repro.simio.faults import CRASH_POINTS
+from repro.ssb.generator import generate
+from repro.write.verify import verify_clean_start, verify_crash_point
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SF = 0.004
+
+
+@pytest.fixture(scope="module")
+def chaos_data():
+    return generate(CHAOS_SF, seed=7)
+
+
+@pytest.mark.parametrize("kind", ["cs", "rs"])
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_crash_point_exactly_once(chaos_data, kind, point):
+    problems = verify_crash_point(kind, point, chaos_data)
+    assert problems == []
+
+
+@pytest.mark.parametrize("kind", ["cs", "rs"])
+def test_clean_start_counters_stay_zero(chaos_data, kind):
+    assert verify_clean_start(kind, chaos_data) == []

@@ -132,6 +132,22 @@ def test_dml_round_trip(ssb_data):
     assert shell.handle("\\move") == "nothing pending; no-op"
 
 
+def test_recover_command_replays_both_engines(ssb_data):
+    shell = Shell(data=ssb_data)
+    out = shell.handle("DELETE FROM lineorder WHERE quantity < 3")
+    deleted = int(out.split()[0])
+    assert deleted > 0
+    out = shell.handle("\\recover")
+    # one report line per engine, each rendering the replay tally
+    assert "cs: recovery: 1 records scanned" in out
+    assert "rs: recovery: 1 records scanned" in out
+    assert "1 batches replayed" in out
+    # the replayed delta still serves: reads pass the oracle check
+    total = ssb_data.lineorder.num_rows
+    post = shell.handle("SELECT count(*) AS n FROM lineorder")
+    assert str(total - deleted) in post and "INTERNAL ERROR" not in post
+
+
 def test_cache_toggle_and_stats(shell):
     assert "cache on" in shell.handle("\\cache on")
     first = shell.handle("Q1.2")
